@@ -1,0 +1,78 @@
+(* Bechamel micro-benchmarks of the four flow-computation kernels on a
+   fixed mid-size subgraph, plus the pattern table builders on a small
+   network.  These measure the building blocks behind Tables 6-8; the
+   table harness itself measures end-to-end wall time per subgraph. *)
+
+open Bechamel
+open Toolkit
+module Pipeline = Tin_core.Pipeline
+module Extract = Tin_datasets.Extract
+
+let pick_problem datasets =
+  (* The largest Class-C problem across datasets, or any largest. *)
+  let all = List.concat_map (fun d -> d.Workload.problems) datasets in
+  let interesting =
+    List.filter
+      (fun (p : Extract.problem) ->
+        Pipeline.classify p.Extract.graph ~source:p.Extract.source ~sink:p.Extract.sink
+        = Pipeline.C)
+      all
+  in
+  let pool = if interesting = [] then all else interesting in
+  List.fold_left
+    (fun best (p : Extract.problem) ->
+      match best with
+      | None -> Some p
+      | Some b -> if p.Extract.n_interactions > b.Extract.n_interactions then Some p else Some b)
+    None pool
+
+let tests_for (p : Extract.problem) =
+  let g = p.Extract.graph and source = p.Extract.source and sink = p.Extract.sink in
+  let method_test m =
+    Test.make
+      ~name:(Pipeline.method_name m)
+      (Staged.stage (fun () -> ignore (Pipeline.compute m g ~source ~sink)))
+  in
+  let preprocess =
+    Test.make ~name:"preprocess-pass"
+      (Staged.stage (fun () -> ignore (Tin_core.Preprocess.run g ~source ~sink)))
+  in
+  let simplify =
+    let pre = (Tin_core.Preprocess.run g ~source ~sink).Tin_core.Preprocess.graph in
+    Test.make ~name:"simplify-pass"
+      (Staged.stage (fun () -> ignore (Tin_core.Simplify.run pre ~source ~sink)))
+  in
+  let soluble =
+    Test.make ~name:"solubility-check"
+      (Staged.stage (fun () -> ignore (Tin_core.Solubility.soluble g ~source ~sink)))
+  in
+  Test.make_grouped ~name:"kernels" ~fmt:"%s %s"
+    (List.map method_test Pipeline.[ Greedy; Lp; Pre; Pre_sim; Time_expanded ]
+    @ [ preprocess; simplify; soluble ])
+
+let run datasets =
+  match pick_problem datasets with
+  | None -> print_endline "micro: no extracted subgraphs to benchmark"
+  | Some p ->
+      Printf.printf
+        "Micro-benchmarks (bechamel) on the largest Class-C subgraph: seed %d, %d interactions\n"
+        p.Extract.seed p.Extract.n_interactions;
+      let test = tests_for p in
+      let cfg =
+        Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~stabilize:false ~kde:(Some 10) ()
+      in
+      let instances = Instance.[ monotonic_clock ] in
+      let raw = Benchmark.all cfg instances test in
+      let ols =
+        Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+      in
+      let results = Analyze.all ols Instance.monotonic_clock raw in
+      let names = Hashtbl.fold (fun k _ acc -> k :: acc) results [] |> List.sort compare in
+      List.iter
+        (fun name ->
+          let ols_result = Hashtbl.find results name in
+          match Analyze.OLS.estimates ols_result with
+          | Some (ns :: _) ->
+              Printf.printf "  %-28s %s\n" name (Tin_util.Table.fmt_ms (ns /. 1e6))
+          | _ -> Printf.printf "  %-28s (no estimate)\n" name)
+        names

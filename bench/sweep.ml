@@ -1,0 +1,60 @@
+(* Scalability sweep (beyond the paper's fixed-size evaluation): how
+   generation, subgraph extraction and path-table precomputation scale
+   with network size.  The paper argues its passes are linear in the
+   number of interactions; this measures that claim directly on
+   Bitcoin-shaped networks of growing scale. *)
+
+module Spec = Tin_datasets.Spec
+module Generator = Tin_datasets.Generator
+module Extract = Tin_datasets.Extract
+module Tables = Tin_patterns.Tables
+module Table = Tin_util.Table
+module Timer = Tin_util.Timer
+
+let factors = [ 0.02; 0.05; 0.1; 0.2; 0.4 ]
+
+let run () =
+  let rows =
+    List.map
+      (fun factor ->
+        let spec = Spec.scaled ~factor Spec.bitcoin in
+        let net, gen_ms = Timer.time_ms (fun () -> Generator.generate ~seed:101 spec) in
+        let stats = Generator.stats net in
+        let problems, extract_ms =
+          Timer.time_ms (fun () -> Extract.extract ~max_interactions:1000 ~max_subgraphs:200 net)
+        in
+        let tables, pre_ms =
+          Timer.time_ms (fun () -> (Tables.cycles2 net, Tables.cycles3 net))
+        in
+        let greedy_ms =
+          (* Average greedy scan over the first 50 extracted problems:
+             the paper's linear-time claim for Section 4.1. *)
+          match List.filteri (fun i _ -> i < 50) problems with
+          | [] -> 0.0
+          | sample ->
+              Tin_util.Stats.mean
+                (List.map
+                   (fun (p : Extract.problem) ->
+                     snd
+                       (Timer.time_ms (fun () ->
+                            Tin_core.Greedy.flow p.Extract.graph ~source:p.Extract.source
+                              ~sink:p.Extract.sink)))
+                   sample)
+        in
+        [
+          Printf.sprintf "%.2f" factor;
+          Table.fmt_count (float_of_int stats.Generator.n_interactions);
+          Table.fmt_ms gen_ms;
+          Table.fmt_ms extract_ms;
+          Table.fmt_ms pre_ms;
+          Table.fmt_count (float_of_int (Tables.n_rows (fst tables) + Tables.n_rows (snd tables)));
+          Table.fmt_ms greedy_ms;
+        ])
+      factors
+  in
+  Table.print
+    ~title:"Scalability sweep (Bitcoin-shaped networks of growing scale)"
+    ~header:
+      [ "scale"; "#interactions"; "generate"; "extract"; "precompute L2+L3"; "cycle rows"; "greedy/subgraph" ]
+    rows;
+  print_newline ()

@@ -1,0 +1,266 @@
+(* tinflow: command-line front end to the library.
+
+   Subcommands:
+     flow      compute greedy/maximum flow on a CSV network
+     patterns  enumerate flow patterns on a CSV network
+     generate  write a synthetic dataset to CSV
+     dot       render a CSV network to GraphViz *)
+
+open Cmdliner
+module Pipeline = Tin_core.Pipeline
+module Endpoints = Tin_core.Endpoints
+module Catalog = Tin_patterns.Catalog
+module Table = Tin_util.Table
+
+let setup_logs () =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some Logs.Warning)
+
+(* --- flow --- *)
+
+let method_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "greedy" -> Ok Pipeline.Greedy
+    | "lp" -> Ok Pipeline.Lp
+    | "pre" -> Ok Pipeline.Pre
+    | "presim" -> Ok Pipeline.Pre_sim
+    | "timeexp" | "time-expanded" -> Ok Pipeline.Time_expanded
+    | _ -> Error (`Msg "expected greedy | lp | pre | presim | timeexp")
+  in
+  Arg.conv (parse, fun ppf m -> Fmt.string ppf (Pipeline.method_name m))
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"NETWORK.csv" ~doc:"Interaction network (src,dst,time,qty lines).")
+
+let flow_cmd =
+  let source =
+    Arg.(value & opt (some int) None & info [ "source"; "s" ] ~docv:"VERTEX" ~doc:"Source vertex (default: synthetic super-source over all sources).")
+  in
+  let sink =
+    Arg.(value & opt (some int) None & info [ "sink"; "t" ] ~docv:"VERTEX" ~doc:"Sink vertex (default: synthetic super-sink over all sinks).")
+  in
+  let split =
+    Arg.(value & opt (some int) None & info [ "split" ] ~docv:"VERTEX" ~doc:"Measure flow from VERTEX back to itself (splits it into a source/sink pair).")
+  in
+  let meth =
+    Arg.(value & opt (some method_conv) None & info [ "method"; "m" ] ~docv:"METHOD" ~doc:"greedy | lp | pre | presim | timeexp (default: report greedy and presim).")
+  in
+  let run file source sink split meth =
+    setup_logs ();
+    let g = Io.load_csv_graph file in
+    match
+      match split with
+      | Some v ->
+          let ep = Endpoints.split g ~vertex:v in
+          Ok (ep.Endpoints.graph, ep.Endpoints.source, ep.Endpoints.sink)
+      | None -> (
+          match (source, sink) with
+          | Some s, Some t -> Ok (g, s, t)
+          | _ -> (
+              try
+                let ep = Endpoints.add_synthetic g in
+                let s = Option.value ~default:ep.Endpoints.source source in
+                let t = Option.value ~default:ep.Endpoints.sink sink in
+                Ok (ep.Endpoints.graph, s, t)
+              with Invalid_argument msg ->
+                Error
+                  (Printf.sprintf
+                     "%s\nhint: pass explicit --source/--sink vertices, or --split VERTEX to \
+                      measure a round trip" msg)))
+    with
+    | Error msg ->
+        prerr_endline ("tinflow: " ^ msg);
+        1
+    | Ok (g, source, sink) ->
+    (match meth with
+    | Some m ->
+        Printf.printf "%s flow: %g\n" (Pipeline.method_name m)
+          (Pipeline.compute m g ~source ~sink)
+    | None ->
+        let r = Pipeline.report g ~source ~sink in
+        Printf.printf "greedy flow:  %g\n" (Pipeline.compute Pipeline.Greedy g ~source ~sink);
+        Printf.printf "maximum flow: %g\n" r.Pipeline.value;
+        Printf.printf "difficulty:   %s (LP variables %d -> %d)\n"
+          (Pipeline.cls_name r.Pipeline.cls)
+          r.Pipeline.lp_vars_before r.Pipeline.lp_vars_after);
+        0
+  in
+  Cmd.v
+    (Cmd.info "flow" ~doc:"Compute source-to-sink flow in an interaction network")
+    Term.(const run $ file_arg $ source $ sink $ split $ meth)
+
+(* --- paths (flow decomposition) --- *)
+
+let paths_cmd =
+  let source = Arg.(required & opt (some int) None & info [ "source"; "s" ] ~docv:"VERTEX" ~doc:"Source vertex.") in
+  let sink = Arg.(required & opt (some int) None & info [ "sink"; "t" ] ~docv:"VERTEX" ~doc:"Sink vertex.") in
+  let top = Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc:"Show the N heaviest routes.") in
+  let run file source sink top =
+    setup_logs ();
+    let g = Io.load_csv_graph file in
+    let value, routes = Tin_core.Decompose.max_flow_paths g ~source ~sink in
+    Printf.printf "maximum flow: %g across %d temporal routes\n" value (List.length routes);
+    List.sort
+      (fun a b -> Float.compare b.Tin_core.Decompose.amount a.Tin_core.Decompose.amount)
+      routes
+    |> List.filteri (fun i _ -> i < top)
+    |> List.iter (fun r ->
+           let hops =
+             List.map
+               (fun leg ->
+                 Printf.sprintf "%d->%d@%g" leg.Tin_core.Decompose.src
+                   leg.Tin_core.Decompose.dst leg.Tin_core.Decompose.time)
+               r.Tin_core.Decompose.legs
+           in
+           Printf.printf "  %-12g %s\n" r.Tin_core.Decompose.amount (String.concat "  " hops));
+    0
+  in
+  Cmd.v
+    (Cmd.info "paths" ~doc:"Decompose the maximum flow into temporal source-to-sink routes")
+    Term.(const run $ file_arg $ source $ sink $ top)
+
+(* --- profile --- *)
+
+let profile_cmd =
+  let source = Arg.(required & opt (some int) None & info [ "source"; "s" ] ~docv:"VERTEX" ~doc:"Source vertex.") in
+  let sink = Arg.(required & opt (some int) None & info [ "sink"; "t" ] ~docv:"VERTEX" ~doc:"Sink vertex.") in
+  let greedy = Arg.(value & flag & info [ "greedy" ] ~doc:"Greedy profile (single scan) instead of per-prefix maximum flows.") in
+  let run file source sink greedy =
+    setup_logs ();
+    let g = Io.load_csv_graph file in
+    let profile =
+      if greedy then Tin_core.Window.greedy_profile g ~source ~sink
+      else Tin_core.Window.max_flow_profile g ~source ~sink
+    in
+    Printf.printf "time,cumulative_flow\n";
+    List.iter (fun (tau, v) -> Printf.printf "%g,%g\n" tau v) profile;
+    0
+  in
+  Cmd.v
+    (Cmd.info "profile" ~doc:"Flow accumulated at the sink as a function of time (CSV output)")
+    Term.(const run $ file_arg $ source $ sink $ greedy)
+
+(* --- patterns --- *)
+
+let pattern_conv =
+  let all = List.map (fun p -> (String.lowercase_ascii (Catalog.pattern_name p), p)) Catalog.all in
+  Arg.enum all
+
+let patterns_cmd =
+  let which =
+    Arg.(value & opt_all pattern_conv [] & info [ "pattern"; "p" ] ~docv:"P" ~doc:"Pattern to search (p1..p6, rp1..rp3); repeatable.  Default: all applicable.")
+  in
+  let custom =
+    Arg.(value & opt_all string [] & info [ "custom" ] ~docv:"EDGES" ~doc:"Custom pattern, e.g. \"a->b, b->c, c->a'\" (primes mark a repeated label: a and a' must map to the same vertex).  Repeatable; searched by graph browsing.")
+  in
+  let limit =
+    Arg.(value & opt int 100_000 & info [ "limit" ] ~docv:"N" ~doc:"Stop after N instances per pattern.")
+  in
+  let use_pb =
+    Arg.(value & flag & info [ "precompute" ] ~doc:"Use the precomputation-based search (path tables) instead of graph browsing.")
+  in
+  let run file which custom limit use_pb =
+    setup_logs ();
+    let net = Io.load_csv file in
+    let which = if which = [] && custom = [] then Catalog.all else which in
+    let tables =
+      if use_pb then Some (Catalog.precompute ~with_chains:true net) else None
+    in
+    let rows =
+      List.map
+        (fun p ->
+          let r =
+            match tables with
+            | Some t -> Catalog.pb ~limit net t p
+            | None -> Catalog.gb ~limit net p
+          in
+          [
+            (Catalog.pattern_name p ^ if r.Catalog.truncated then "*" else "");
+            string_of_int r.Catalog.instances;
+            Table.fmt_flow (Catalog.avg_flow r);
+            Table.fmt_flow r.Catalog.total_flow;
+          ])
+        which
+    in
+    let custom_rows =
+      List.map
+        (fun text ->
+          let p = Tin_patterns.Pattern.of_string text in
+          let r = Catalog.gb_custom ~limit net p in
+          [
+            (text ^ if r.Catalog.truncated then "*" else "");
+            string_of_int r.Catalog.instances;
+            Table.fmt_flow (Catalog.avg_flow r);
+            Table.fmt_flow r.Catalog.total_flow;
+          ])
+        custom
+    in
+    Table.print
+      ~title:(Printf.sprintf "Pattern instances in %s (%s)" file (if use_pb then "PB" else "GB"))
+      ~header:[ "Pattern"; "Instances"; "Avg flow"; "Total flow" ]
+      (rows @ custom_rows);
+    0
+  in
+  Cmd.v
+    (Cmd.info "patterns" ~doc:"Enumerate flow patterns and their maximum flows")
+    Term.(const run $ file_arg $ which $ custom $ limit $ use_pb)
+
+(* --- generate --- *)
+
+let generate_cmd =
+  let dataset =
+    Arg.(value & opt (enum [ ("bitcoin", `Bitcoin); ("ctu13", `Ctu); ("prosper", `Prosper) ]) `Bitcoin
+        & info [ "shape" ] ~docv:"SHAPE" ~doc:"bitcoin | ctu13 | prosper")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.") in
+  let factor =
+    Arg.(value & opt float 0.1 & info [ "factor" ] ~docv:"F" ~doc:"Scale factor on the spec sizes.")
+  in
+  let out = Arg.(required & pos 0 (some string) None & info [] ~docv:"OUT.csv" ~doc:"Output file.") in
+  let run out dataset seed factor =
+    setup_logs ();
+    let spec =
+      Tin_datasets.Spec.scaled ~factor
+        (match dataset with
+        | `Bitcoin -> Tin_datasets.Spec.bitcoin
+        | `Ctu -> Tin_datasets.Spec.ctu13
+        | `Prosper -> Tin_datasets.Spec.prosper)
+    in
+    let net = Tin_datasets.Generator.generate ~seed spec in
+    Io.save_csv out (Static.to_graph net);
+    let s = Tin_datasets.Generator.stats net in
+    Printf.printf "wrote %s: %d vertices, %d edges, %d interactions\n" out
+      s.Tin_datasets.Generator.n_vertices s.Tin_datasets.Generator.n_edges
+      s.Tin_datasets.Generator.n_interactions;
+    0
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a synthetic interaction network CSV")
+    Term.(const run $ out $ dataset $ seed $ factor)
+
+(* --- dot --- *)
+
+let dot_cmd =
+  let source = Arg.(value & opt (some int) None & info [ "source" ] ~docv:"V" ~doc:"Highlight as source.") in
+  let sink = Arg.(value & opt (some int) None & info [ "sink" ] ~docv:"V" ~doc:"Highlight as sink.") in
+  let run file source sink =
+    setup_logs ();
+    let g = Io.load_csv_graph file in
+    print_string (Io.to_dot ?source ?sink g);
+    0
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Render an interaction network to GraphViz")
+    Term.(const run $ file_arg $ source $ sink)
+
+let () =
+  let info =
+    Cmd.info "tinflow" ~version:"1.0.0"
+      ~doc:"Flow computation in temporal interaction networks (ICDE 2021 reproduction)"
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ flow_cmd; paths_cmd; profile_cmd; patterns_cmd; generate_cmd; dot_cmd ]))

@@ -1,0 +1,89 @@
+module TE = Tin_maxflow.Time_expand
+module Net = Tin_maxflow.Net
+module Dinic = Tin_maxflow.Dinic
+
+type leg = { src : Graph.vertex; dst : Graph.vertex; time : float; offered : float }
+type path = { legs : leg list; amount : float }
+
+let eps = 1e-9
+
+let max_flow_paths g ~source ~sink =
+  let te = TE.build g ~source ~sink in
+  let net = te.TE.net in
+  let value = Dinic.max_flow net ~source:te.TE.source_node ~sink:te.TE.sink_node in
+  (* Remaining (not yet peeled) flow per forward arc, and the
+     interaction each arc realises (holdover arcs map to None). *)
+  let remaining = Hashtbl.create 256 in
+  let info = Hashtbl.create 256 in
+  List.iter (fun (a, i) -> Hashtbl.replace info a i) te.TE.interaction_arcs;
+  let n_arcs = Net.n_arcs net in
+  for k = 0 to n_arcs - 1 do
+    let a = 2 * k in
+    let f = Net.flow net a in
+    if f > eps then Hashtbl.replace remaining a f
+  done;
+  (* Positive-flow adjacency: node -> arcs with remaining flow. *)
+  let adj = Hashtbl.create 256 in
+  Hashtbl.iter
+    (fun a _ ->
+      let from_node = Net.dst net (Net.twin a) in
+      let existing = match Hashtbl.find_opt adj from_node with Some l -> l | None -> [] in
+      Hashtbl.replace adj from_node (a :: existing))
+    remaining;
+  let pick_arc node =
+    let rec first = function
+      | [] -> None
+      | a :: rest -> (
+          match Hashtbl.find_opt remaining a with
+          | Some f when f > eps -> Some (a, f)
+          | _ -> first rest)
+    in
+    first (match Hashtbl.find_opt adj node with Some l -> l | None -> [])
+  in
+  (* Walk S -> T along positive arcs (the expanded graph is a DAG, so
+     any greedy walk reaches T while S still has outgoing flow). *)
+  let rec walk node acc bottleneck =
+    if node = te.TE.sink_node then Some (List.rev acc, bottleneck)
+    else
+      match pick_arc node with
+      | None -> None (* numerical crumbs: abandon this walk *)
+      | Some (a, f) -> walk (Net.dst net a) (a :: acc) (Float.min bottleneck f)
+  in
+  let paths = ref [] in
+  let continue = ref true in
+  while !continue do
+    match walk te.TE.source_node [] infinity with
+    | None -> continue := false
+    | Some (arcs, bottleneck) when bottleneck > eps ->
+        List.iter
+          (fun a ->
+            let f = Hashtbl.find remaining a in
+            let f' = f -. bottleneck in
+            if f' > eps then Hashtbl.replace remaining a f' else Hashtbl.remove remaining a)
+          arcs;
+        let legs =
+          List.filter_map
+            (fun a ->
+              match Hashtbl.find_opt info a with
+              | Some (src, dst, i) ->
+                  Some { src; dst; time = Interaction.time i; offered = Interaction.qty i }
+              | None -> None (* holdover arc: waiting, not a transfer *))
+            arcs
+        in
+        paths := { legs; amount = bottleneck } :: !paths
+    | Some _ -> continue := false
+  done;
+  (value, List.rev !paths)
+
+let per_interaction paths =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun leg ->
+          let key = (leg.src, leg.dst, leg.time) in
+          let prev = Option.value ~default:0.0 (Hashtbl.find_opt tbl key) in
+          Hashtbl.replace tbl key (prev +. p.amount))
+        p.legs)
+    paths;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare

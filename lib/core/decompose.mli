@@ -1,0 +1,39 @@
+(** Flow decomposition: {e which} interactions carried the maximum
+    flow, as explicit temporal source→sink paths.
+
+    The flow value alone ("$87K flowed from A back to A") is rarely
+    the end of an investigation — the analyst wants the carrying
+    transactions.  A maximum flow on the time-expanded network
+    (Section 4.2.1) assigns a quantity to every interaction; because
+    the expanded network is a DAG ordered by time, those per-arc flows
+    decompose into source→sink routes whose legs are actual
+    interactions in strictly increasing time order.  Routes are simple
+    over (vertex, time) pairs but may revisit a vertex at a later time
+    — quantity that loops through a cycle and moves on is a real
+    phenomenon in transaction networks. *)
+
+type leg = {
+  src : Graph.vertex;
+  dst : Graph.vertex;
+  time : float;
+  offered : float;  (** The interaction's full quantity. *)
+}
+(** One interaction used by a path (possibly partially). *)
+
+type path = { legs : leg list; amount : float }
+(** A temporal source→sink route carrying [amount]. *)
+
+val max_flow_paths :
+  Graph.t -> source:Graph.vertex -> sink:Graph.vertex -> float * path list
+(** [(value, paths)] where [value] is the maximum flow and the paths
+    partition it: amounts sum to [value], each path's legs are
+    time-increasing, start at the source and end at the sink, and no
+    interaction carries more (across all paths) than its quantity.
+    Runs Dinic on the time-expanded network and peels paths off the
+    positive-flow DAG. *)
+
+val per_interaction :
+  path list -> ((Graph.vertex * Graph.vertex * float) * float) list
+(** Total carried quantity per interaction [(src, dst, time)],
+    aggregated over paths, in deterministic order.  Interactions of
+    the same edge that share a timestamp aggregate under one key. *)

@@ -1,0 +1,45 @@
+type endpoints = { graph : Graph.t; source : Graph.vertex; sink : Graph.vertex }
+
+let fresh_id g =
+  match Graph.vertices g with [] -> 0 | vs -> List.fold_left max min_int vs + 1
+
+let add_synthetic g =
+  if Graph.n_vertices g = 0 then invalid_arg "Endpoints.add_synthetic: empty graph";
+  let sources = Graph.sources g and sinks = Graph.sinks g in
+  if sources = [] then invalid_arg "Endpoints.add_synthetic: no source vertex (all on cycles)";
+  if sinks = [] then invalid_arg "Endpoints.add_synthetic: no sink vertex (all on cycles)";
+  let g, source =
+    match sources with
+    | [ s ] -> (g, s)
+    | _ ->
+        let s = fresh_id g in
+        ( List.fold_left
+            (fun g v ->
+              Graph.add_edge g ~src:s ~dst:v
+                [ Interaction.make ~time:neg_infinity ~qty:infinity ])
+            g sources,
+          s )
+  in
+  let g, sink =
+    match sinks with
+    | [ t ] -> (g, t)
+    | _ ->
+        let t = fresh_id g in
+        ( List.fold_left
+            (fun g v ->
+              Graph.add_edge g ~src:v ~dst:t [ Interaction.make ~time:infinity ~qty:infinity ])
+            g sinks,
+          t )
+  in
+  { graph = g; source; sink }
+
+let split g ~vertex =
+  if not (Graph.mem_vertex g vertex) then invalid_arg "Endpoints.split: unknown vertex";
+  let s = fresh_id g in
+  let t = s + 1 in
+  let outs = Graph.out_edges g vertex and ins = Graph.in_edges g vertex in
+  let g = Graph.remove_vertex g vertex in
+  let g = Graph.add_vertex (Graph.add_vertex g s) t in
+  let g = List.fold_left (fun g (u, is) -> Graph.add_edge g ~src:s ~dst:u is) g outs in
+  let g = List.fold_left (fun g (w, is) -> Graph.add_edge g ~src:w ~dst:t is) g ins in
+  { graph = g; source = s; sink = t }

@@ -1,0 +1,136 @@
+module Problem = Tin_lp.Problem
+
+type lp = {
+  problem : Problem.t;
+  n_vars : int;
+  n_rows : int;
+  fixed_into_sink : float;
+  objective_vars : (Problem.var * float) list;
+}
+
+(* Per-vertex event: either a variable interaction or a fixed
+   (source-origin) constant, incoming or outgoing. *)
+type event = {
+  time : float;
+  qty : float;
+  var : Problem.var option; (* None = fixed source-origin interaction *)
+  incoming : bool;
+}
+
+let build g ~source ~sink =
+  if source = sink then invalid_arg "Lp_flow.build: source = sink";
+  let problem = Problem.create ~direction:Problem.Maximize () in
+  let events : (Graph.vertex, event list ref) Hashtbl.t = Hashtbl.create 64 in
+  let push v e =
+    match Hashtbl.find_opt events v with
+    | Some l -> l := e :: !l
+    | None -> Hashtbl.add events v (ref [ e ])
+  in
+  let n_vars = ref 0 in
+  let fixed_into_sink = ref 0.0 in
+  let objective_vars = ref [] in
+  Graph.iter_edges
+    (fun v u is ->
+      List.iter
+        (fun i ->
+          let time = Interaction.time i and qty = Interaction.qty i in
+          if v = source then begin
+            (* Full quantity, no variable. *)
+            if u = sink then fixed_into_sink := !fixed_into_sink +. qty
+            else push u { time; qty; var = None; incoming = true }
+          end
+          else if v = sink then
+            (* The sink absorbs; its outgoing interactions carry
+               nothing (same convention as the greedy scan and the
+               time-expanded network). *)
+            ()
+          else begin
+            let obj = if u = sink then 1.0 else 0.0 in
+            let var = Problem.add_var ~lb:0.0 ~ub:qty ~obj problem in
+            incr n_vars;
+            if u = sink then objective_vars := (var, 1.0) :: !objective_vars;
+            push v { time; qty; var = Some var; incoming = false };
+            if u <> sink && u <> source then push u { time; qty; var = Some var; incoming = true }
+          end)
+        is)
+    g;
+  (* Buffer constraints, one per distinct sending timestamp per vertex.
+     Scanning events in time order with incoming-before-outgoing at
+     equal... no: outgoing at τ may NOT use arrivals at τ, so at each
+     distinct outgoing timestamp τ we bound cumulative outgoing (≤ τ)
+     by cumulative incoming (< τ). *)
+  let n_rows = ref 0 in
+  Hashtbl.iter
+    (fun v evs ->
+      if v <> source && v <> sink then begin
+        let evs = List.sort (fun a b -> Float.compare a.time b.time) !evs in
+        (* Group by timestamp, walking forward while accumulating
+           incoming terms (variables and constants) seen strictly
+           before the current group. *)
+        let in_vars = ref [] (* (coef, var) of incoming, accumulated *) in
+        let in_fixed = ref 0.0 in
+        let out_vars = ref [] in
+        let has_out = ref false in
+        let rec walk = function
+          | [] -> ()
+          | e :: _ as evs ->
+              let tau = e.time in
+              let group, rest = List.partition (fun e' -> Float.equal e'.time tau) evs in
+              (* Outgoing events of this group join the cumulative
+                 outgoing side before the constraint is emitted
+                 (cumulative ≤ τ). *)
+              let group_out = List.filter (fun e' -> not e'.incoming) group in
+              if group_out <> [] then begin
+                List.iter
+                  (fun e' ->
+                    match e'.var with
+                    | Some x -> out_vars := (1.0, x) :: !out_vars
+                    | None -> assert false (* outgoing of v ≠ source always has a var *))
+                  group_out;
+                has_out := true;
+                if !in_fixed < infinity then begin
+                  (* Σ out(≤τ) − Σ in(<τ) ≤ fixed_in(<τ) *)
+                  let terms =
+                    List.rev_append !out_vars (List.map (fun (c, x) -> (-.c, x)) !in_vars)
+                  in
+                  Problem.add_le problem terms !in_fixed;
+                  incr n_rows
+                end
+              end;
+              (* Incoming arrivals at τ become available after τ. *)
+              List.iter
+                (fun e' ->
+                  if e'.incoming then
+                    match e'.var with
+                    | Some x -> in_vars := (1.0, x) :: !in_vars
+                    | None -> in_fixed := !in_fixed +. e'.qty)
+                group;
+              walk rest
+        in
+        walk evs;
+        ignore !has_out
+      end)
+    events;
+  {
+    problem;
+    n_vars = !n_vars;
+    n_rows = !n_rows;
+    fixed_into_sink = !fixed_into_sink;
+    objective_vars = !objective_vars;
+  }
+
+let solve ?solver ?eps ?max_iters g ~source ~sink =
+  let lp = build g ~source ~sink in
+  if lp.n_vars = 0 then Ok lp.fixed_into_sink
+  else
+    let sol = Problem.solve ?solver ?eps ?max_iters lp.problem in
+    match sol.Problem.status with
+    | `Optimal -> Ok (sol.Problem.objective +. lp.fixed_into_sink)
+    | `Unbounded -> Error `Unbounded
+    | `Infeasible -> Error `Infeasible
+    | `Iteration_limit -> Error `Iteration_limit
+
+let n_variables g ~source =
+  Graph.fold_edges
+    (fun v _ is acc -> if v = source then acc else acc + List.length is)
+    g 0

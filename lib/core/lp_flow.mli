@@ -1,0 +1,48 @@
+(** Maximum flow as linear programming (Section 4.2.1).
+
+    One variable [x_i ∈ [0, q_i]] per interaction that does not
+    originate at the source (source-origin interactions always carry
+    their full quantity, Eq. 1 and the discussion below it).  For every
+    vertex [v ∉ {source}] and every distinct timestamp [τ] at which
+    [v] sends, a buffer constraint bounds what [v] may have sent up to
+    and including [τ] by what it received strictly before [τ]
+    (Eq. 2, in cumulative form so that simultaneous interactions cannot
+    double-spend a buffer).  The objective maximizes the quantity
+    arriving at the sink (Eq. 3). *)
+
+type lp = {
+  problem : Tin_lp.Problem.t;
+  n_vars : int;  (** Number of LP variables (non-source interactions). *)
+  n_rows : int;  (** Number of buffer constraints. *)
+  fixed_into_sink : float;
+      (** Constant objective contribution of source→sink interactions. *)
+  objective_vars : (Tin_lp.Problem.var * float) list;
+      (** Sink-incoming variables (with coefficient 1) — kept for
+          inspection. *)
+}
+
+val build : Graph.t -> source:Graph.vertex -> sink:Graph.vertex -> lp
+(** Formulates the LP.  Works on arbitrary (even cyclic) graphs: the
+    constraints are temporal, not structural.
+    @raise Invalid_argument if [source = sink]. *)
+
+val solve :
+  ?solver:Tin_lp.Problem.solver ->
+  ?eps:float ->
+  ?max_iters:int ->
+  Graph.t ->
+  source:Graph.vertex ->
+  sink:Graph.vertex ->
+  (float, [ `Unbounded | `Infeasible | `Iteration_limit ]) Stdlib.result
+(** Builds and solves; [Ok flow] on success.  [`Infeasible] cannot
+    happen on well-formed inputs ([x = 0] is always feasible) and
+    [`Unbounded] only on graphs with an all-infinite source→sink
+    path.  [solver] selects the simplex variant (default [`Auto],
+    which uses the bounded-variable simplex — flow LPs always fit its
+    shape); [`Dense] forces the row-based two-phase simplex, the
+    configuration measured against [`Bounded] by the ablation
+    benchmark. *)
+
+val n_variables : Graph.t -> source:Graph.vertex -> int
+(** Number of LP variables the formulation would have — the problem
+    size measure used in the paper's Figure 7 discussion. *)

@@ -1,0 +1,35 @@
+(** Online greedy flow monitoring.
+
+    The batch {!Greedy} scan assumes the whole interaction history is
+    available; production monitoring (an FIU watching transactions, a
+    NOC watching traffic) sees interactions as a live stream.  This
+    module maintains the greedy buffers incrementally: push
+    interactions in non-decreasing time order and read the running
+    flow at any moment.  Pushing the full history in order yields
+    exactly {!Greedy.flow} (property-tested). *)
+
+type t
+
+val create : source:Graph.vertex -> sink:Graph.vertex -> t
+(** Fresh monitor.  @raise Invalid_argument if [source = sink]. *)
+
+val push : t -> src:Graph.vertex -> dst:Graph.vertex -> Interaction.t -> float
+(** Feeds one interaction and returns the quantity it moved under the
+    greedy rule (Definition 4).  Interactions must arrive in
+    non-decreasing time order; same-instant arrivals only become
+    usable once a strictly later interaction is pushed (the strict
+    [t_j < t_i] semantics).
+    @raise Invalid_argument on out-of-order timestamps or a
+    self-loop. *)
+
+val flow : t -> float
+(** Quantity accumulated at the sink so far. *)
+
+val buffer : t -> Graph.vertex -> float
+(** Current buffer of a vertex (arrivals at the latest pushed
+    timestamp included); the source reports [infinity]. *)
+
+val last_time : t -> float option
+(** Timestamp of the latest pushed interaction. *)
+
+val n_pushed : t -> int

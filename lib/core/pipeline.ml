@@ -1,0 +1,80 @@
+type method_ = Greedy | Lp | Pre | Pre_sim | Time_expanded
+
+let all_methods = [ Greedy; Lp; Pre; Pre_sim; Time_expanded ]
+
+let method_name = function
+  | Greedy -> "Greedy"
+  | Lp -> "LP"
+  | Pre -> "Pre"
+  | Pre_sim -> "PreSim"
+  | Time_expanded -> "TimeExp"
+
+type cls = A | B | C
+
+let cls_name = function A -> "Class A" | B -> "Class B" | C -> "Class C"
+
+type report = { value : float; cls : cls; lp_vars_before : int; lp_vars_after : int }
+
+exception Solver_failure of string
+
+let solve_lp g ~source ~sink =
+  match Lp_flow.solve g ~source ~sink with
+  | Ok v -> v
+  | Error `Unbounded -> raise (Solver_failure "LP unbounded (all-infinite source-sink path?)")
+  | Error `Infeasible -> raise (Solver_failure "LP infeasible (internal error)")
+  | Error `Iteration_limit -> raise (Solver_failure "LP iteration limit reached")
+
+(* The Pre / PreSim pipelines.  [simplify] toggles the Algorithm-2
+   stage.  Returns the flow and the stage accounting used by
+   [report]. *)
+let staged ~simplify g ~source ~sink =
+  if Solubility.soluble g ~source ~sink then (Greedy.flow g ~source ~sink, A, 0)
+  else if not (Topo.is_dag g) then
+    (* The DAG accelerators do not apply; the time-expanded reduction
+       (and the LP) are structure-agnostic, so fall back to Dinic. *)
+    (Tin_maxflow.Time_expand.max_flow g ~source ~sink, C, 0)
+  else begin
+    let pre = Preprocess.run g ~source ~sink in
+    if pre.Preprocess.zero_flow then (0.0, B, 0)
+    else if Solubility.soluble pre.Preprocess.graph ~source ~sink then
+      (Greedy.flow pre.Preprocess.graph ~source ~sink, B, 0)
+    else begin
+      let g' =
+        if simplify then (Simplify.run pre.Preprocess.graph ~source ~sink).Simplify.graph
+        else pre.Preprocess.graph
+      in
+      (* Simplification can leave a greedy-soluble graph (e.g. the
+         whole thing collapsed to parallel source edges). *)
+      if simplify && Solubility.soluble g' ~source ~sink then
+        (Greedy.flow g' ~source ~sink, C, 0)
+      else (solve_lp g' ~source ~sink, C, Lp_flow.n_variables g' ~source)
+    end
+  end
+
+let compute method_ g ~source ~sink =
+  match method_ with
+  | Greedy -> Greedy.flow g ~source ~sink
+  | Lp -> solve_lp g ~source ~sink
+  | Pre ->
+      let v, _, _ = staged ~simplify:false g ~source ~sink in
+      v
+  | Pre_sim ->
+      let v, _, _ = staged ~simplify:true g ~source ~sink in
+      v
+  | Time_expanded -> Tin_maxflow.Time_expand.max_flow g ~source ~sink
+
+let max_flow g ~source ~sink = compute Pre_sim g ~source ~sink
+
+let classify g ~source ~sink =
+  if Solubility.soluble g ~source ~sink then A
+  else if not (Topo.is_dag g) then C
+  else begin
+    let pre = Preprocess.run g ~source ~sink in
+    if pre.Preprocess.zero_flow || Solubility.soluble pre.Preprocess.graph ~source ~sink then B
+    else C
+  end
+
+let report g ~source ~sink =
+  let lp_vars_before = Lp_flow.n_variables g ~source in
+  let value, cls, lp_vars_after = staged ~simplify:true g ~source ~sink in
+  { value; cls; lp_vars_before; lp_vars_after }

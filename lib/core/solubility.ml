@@ -1,0 +1,18 @@
+let out_degree_condition g ~source ~sink =
+  List.for_all
+    (fun v -> v = source || v = sink || Graph.out_degree g v = 1)
+    (Graph.vertices g)
+
+let soluble g ~source ~sink = out_degree_condition g ~source ~sink && Topo.is_dag g
+
+let is_chain g ~source ~sink =
+  Graph.mem_vertex g source && Graph.mem_vertex g sink
+  && Graph.out_degree g source = 1
+  && Graph.in_degree g source = 0
+  && Graph.out_degree g sink = 0
+  && Graph.in_degree g sink = 1
+  && List.for_all
+       (fun v ->
+         v = source || v = sink || (Graph.out_degree g v = 1 && Graph.in_degree g v = 1))
+       (Graph.vertices g)
+  && Topo.is_dag g

@@ -1,0 +1,18 @@
+(** Greedy-solubility test (Section 4.2.2, Lemmas 1 and 2).
+
+    On a DAG whose every vertex other than the source and the sink has
+    exactly one outgoing edge, reserving quantity at any vertex cannot
+    help, so the greedy scan already computes the maximum flow.
+    Chains (Lemma 1) are the special case where in-degrees are also 1.
+    The test costs O(V) out-degree lookups (plus the DAG check). *)
+
+val out_degree_condition : Graph.t -> source:Graph.vertex -> sink:Graph.vertex -> bool
+(** Pure Lemma-2 condition: every vertex besides [source] and [sink]
+    has out-degree exactly 1. *)
+
+val soluble : Graph.t -> source:Graph.vertex -> sink:Graph.vertex -> bool
+(** [out_degree_condition] plus acyclicity — the precondition under
+    which the greedy result is provably maximal. *)
+
+val is_chain : Graph.t -> source:Graph.vertex -> sink:Graph.vertex -> bool
+(** Lemma-1 shape: the whole graph is a single source→sink path. *)

@@ -1,0 +1,48 @@
+(** Time-restricted flow computation.
+
+    The paper's conclusion notes that all of its techniques apply
+    unchanged to the time-restricted problem — "simply disregarding
+    all interactions that happened outside the window".  This module
+    provides that restriction, windowed flow computation, and flow
+    profiles over time (how much had flowed by each instant, the
+    natural question an analyst asks after "how much flowed"). *)
+
+val restrict : ?from_time:float -> ?until:float -> Graph.t -> Graph.t
+(** [restrict ~from_time ~until g] keeps only interactions with
+    [from_time <= t <= until] (defaults: unbounded on either side).
+    Edges whose sequence empties disappear; all vertices remain, so
+    source/sink designations stay valid. *)
+
+val max_flow :
+  ?from_time:float ->
+  ?until:float ->
+  Graph.t ->
+  source:Graph.vertex ->
+  sink:Graph.vertex ->
+  float
+(** Maximum flow using only in-window interactions (PreSim pipeline). *)
+
+val greedy_flow :
+  ?from_time:float ->
+  ?until:float ->
+  Graph.t ->
+  source:Graph.vertex ->
+  sink:Graph.vertex ->
+  float
+
+val greedy_profile :
+  Graph.t -> source:Graph.vertex -> sink:Graph.vertex -> (float * float) list
+(** The sink's buffer over time under the greedy model: one
+    [(t, cumulative flow)] step per interaction that increased it,
+    computed by a single scan. *)
+
+val max_flow_profile :
+  ?points:float list ->
+  Graph.t ->
+  source:Graph.vertex ->
+  sink:Graph.vertex ->
+  (float * float) list
+(** [(τ, maximum flow using interactions up to τ)] for each requested
+    prefix endpoint (default: every distinct timestamp of interactions
+    entering the sink — the only instants where the value can change).
+    The maximum flow is recomputed per point: O(points × PreSim). *)

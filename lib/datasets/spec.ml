@@ -1,0 +1,74 @@
+type t = {
+  name : string;
+  n_vertices : int;
+  n_base_edges : int;
+  zipf_exponent : float;
+  reciprocity : float;
+  extra_interactions_mean : float;
+  qty_mu : float;
+  qty_sigma : float;
+  horizon : float;
+  n_cycle_seeds : int;
+  unit : string;
+}
+
+(* Scaled-down stand-ins for the paper's Table 4.  The
+   interactions-per-edge and edges-per-vertex ratios follow the real
+   datasets; absolute sizes are ~100x smaller so the whole suite runs
+   on one machine. *)
+
+let bitcoin =
+  {
+    name = "Bitcoin";
+    n_vertices = 60_000;
+    n_base_edges = 110_000;
+    zipf_exponent = 1.1;
+    reciprocity = 0.15;
+    extra_interactions_mean = 0.6;
+    qty_mu = 0.8;
+    qty_sigma = 1.6;
+    horizon = 1_000_000.0;
+    n_cycle_seeds = 700;
+    unit = "B";
+  }
+
+let ctu13 =
+  {
+    name = "CTU-13";
+    n_vertices = 9_000;
+    n_base_edges = 10_000;
+    zipf_exponent = 1.3;
+    reciprocity = 0.30;
+    extra_interactions_mean = 3.0;
+    qty_mu = 6.5;
+    qty_sigma = 2.0;
+    horizon = 1_000_000.0;
+    n_cycle_seeds = 180;
+    unit = "B";
+  }
+
+let prosper =
+  {
+    name = "Prosper Loans";
+    n_vertices = 2_500;
+    n_base_edges = 40_000;
+    zipf_exponent = 0.85;
+    reciprocity = 0.05;
+    extra_interactions_mean = 0.02;
+    qty_mu = 3.6;
+    qty_sigma = 1.0;
+    horizon = 1_000_000.0;
+    n_cycle_seeds = 80;
+    unit = "$";
+  }
+
+let all = [ bitcoin; ctu13; prosper ]
+
+let scaled ?(factor = 1.0) t =
+  let s x = max 1 (int_of_float (float_of_int x *. factor)) in
+  {
+    t with
+    n_vertices = s t.n_vertices;
+    n_base_edges = s t.n_base_edges;
+    n_cycle_seeds = s t.n_cycle_seeds;
+  }

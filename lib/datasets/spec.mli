@@ -1,0 +1,54 @@
+(** Shapes of the synthetic stand-ins for the paper's three real
+    datasets (Table 4).
+
+    The real inputs — the full Bitcoin transaction graph, CTU-13
+    botnet captures and the Prosper Loans dump — are not
+    redistributable, so the generators reproduce the characteristics
+    that the paper's experiments are actually sensitive to:
+
+    - heavy-tailed endpoint popularity (hub accounts / servers);
+    - bursty edges: the interactions-per-edge ratio of each dataset
+      (Bitcoin ≈ 1.6, CTU-13 ≈ 4.0, Prosper ≈ 1.0);
+    - reciprocity and short cycles, which drive both the subgraph
+      extraction of Section 6.2 and the cyclic patterns of Section 6.3;
+    - log-normal transferred quantities (amounts / bytes / loans).
+
+    Scales are reduced so that the full experiment suite runs on one
+    machine; every generator is deterministic given the seed. *)
+
+type t = {
+  name : string;
+  n_vertices : int;
+  n_base_edges : int;  (** Edges sampled before reciprocity/cycles. *)
+  zipf_exponent : float;  (** Endpoint popularity skew. *)
+  reciprocity : float;  (** P(also create the reverse edge). *)
+  extra_interactions_mean : float;
+      (** Mean number of interactions per edge beyond the first
+          (geometric-ish via exponential). *)
+  qty_mu : float;  (** Log-normal location of quantities. *)
+  qty_sigma : float;  (** Log-normal scale of quantities. *)
+  horizon : float;  (** Timestamps are uniform in [0, horizon]. *)
+  n_cycle_seeds : int;
+      (** Number of vertices around which 2- and 3-hop cycles are
+          planted, so that cyclic-pattern search has material to find
+          (the real networks have them organically). *)
+  unit : string;  (** Display unit for flows (B, KB, $...). *)
+}
+
+val bitcoin : t
+(** Bitcoin-shaped network: many vertices, strong skew, bursty hub
+    edges, B amounts. *)
+
+val ctu13 : t
+(** Botnet-traffic-shaped network: few very hot servers, very bursty
+    edges, byte counts. *)
+
+val prosper : t
+(** Peer-to-peer-loan-shaped network: small, dense-ish, one
+    interaction per edge, dollar amounts. *)
+
+val all : t list
+
+val scaled : ?factor:float -> t -> t
+(** [scaled ~factor spec] multiplies the vertex/edge/seed counts by
+    [factor] (for quick test runs vs. full benchmark runs). *)

@@ -1,0 +1,34 @@
+type t = { time : float; qty : float }
+
+let make ~time ~qty =
+  if Float.is_nan time then invalid_arg "Interaction.make: NaN time";
+  if Float.is_nan qty then invalid_arg "Interaction.make: NaN quantity";
+  if qty < 0.0 then invalid_arg "Interaction.make: negative quantity";
+  { time; qty }
+
+let time i = i.time
+let qty i = i.qty
+
+let compare a b =
+  match Float.compare a.time b.time with
+  | 0 -> Float.compare a.qty b.qty
+  | c -> c
+
+let equal a b = compare a b = 0
+
+let pp ppf i = Format.fprintf ppf "(%g,%g)" i.time i.qty
+
+let pp_list ppf is =
+  Format.fprintf ppf "@[<h>%a@]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",") pp)
+    is
+
+let of_pair (time, qty) = make ~time ~qty
+let sort is = List.stable_sort compare is
+let of_pairs ps = sort (List.map of_pair ps)
+
+let rec is_sorted = function
+  | [] | [ _ ] -> true
+  | a :: (b :: _ as rest) -> compare a b <= 0 && is_sorted rest
+
+let total_qty is = List.fold_left (fun acc i -> acc +. i.qty) 0.0 is

@@ -1,0 +1,46 @@
+(** A single interaction: a quantity transferred at an instant.
+
+    Interaction networks (Definition 1 of the paper) annotate every
+    directed edge [(v, u)] with a time-ordered sequence of interactions
+    [(t_i, q_i)]: at time [t_i], vertex [v] sends quantity [q_i] to
+    vertex [u]. *)
+
+type t = private { time : float; qty : float }
+(** Timestamps are arbitrary reals (the real datasets use epoch
+    seconds); quantities are non-negative reals.  [qty] may be
+    [infinity] — synthetic source/sink edges use infinite quantity
+    (Section 4 of the paper). *)
+
+val make : time:float -> qty:float -> t
+(** [make ~time ~qty] validates and builds an interaction.
+    @raise Invalid_argument if [time] is NaN, or [qty] is NaN or
+    negative. *)
+
+val time : t -> float
+val qty : t -> float
+
+val compare : t -> t -> int
+(** Orders by time, then by quantity; a total order compatible with the
+    temporal scan of the greedy algorithm. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [(t,q)], matching the paper's notation. *)
+
+val pp_list : Format.formatter -> t list -> unit
+
+val of_pair : float * float -> t
+(** [of_pair (t, q)] is [make ~time:t ~qty:q] — convenient for writing
+    the paper's worked examples as literal lists. *)
+
+val of_pairs : (float * float) list -> t list
+(** Maps {!of_pair} and sorts by time. *)
+
+val sort : t list -> t list
+(** Stable sort by {!compare}. *)
+
+val is_sorted : t list -> bool
+
+val total_qty : t list -> float
+(** Sum of quantities (the cut capacity contribution of an edge). *)

@@ -1,0 +1,91 @@
+exception Parse_error of { line : int; message : string }
+
+let src = Logs.Src.create "tin.graph.io" ~doc:"Interaction network I/O"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let parse_line ~lineno line =
+  match String.split_on_char ',' (String.trim line) with
+  | [ a; b; t; q ] -> (
+      try
+        let srcv = int_of_string (String.trim a)
+        and dstv = int_of_string (String.trim b)
+        and time = float_of_string (String.trim t)
+        and qty = float_of_string (String.trim q) in
+        Some (srcv, dstv, Interaction.make ~time ~qty)
+      with
+      | Invalid_argument msg -> raise (Parse_error { line = lineno; message = msg })
+      | Failure _ ->
+          raise (Parse_error { line = lineno; message = "malformed number in: " ^ line }))
+  | _ -> raise (Parse_error { line = lineno; message = "expected 4 comma-separated fields" })
+
+let interactions_of_channel ic =
+  let rec go lineno acc self_loops =
+    match In_channel.input_line ic with
+    | None ->
+        if self_loops > 0 then Log.warn (fun m -> m "skipped %d self-loop interactions" self_loops);
+        List.rev acc
+    | Some line ->
+        let trimmed = String.trim line in
+        if trimmed = "" || trimmed.[0] = '#' then go (lineno + 1) acc self_loops
+        else if lineno = 1 && String.lowercase_ascii trimmed = "src,dst,time,qty" then
+          go (lineno + 1) acc self_loops
+        else begin
+          match parse_line ~lineno trimmed with
+          | Some (s, d, _) when s = d -> go (lineno + 1) acc (self_loops + 1)
+          | Some entry -> go (lineno + 1) (entry :: acc) self_loops
+          | None -> go (lineno + 1) acc self_loops
+        end
+  in
+  go 1 [] 0
+
+let group_entries entries =
+  let tbl = Hashtbl.create 1024 in
+  List.iter
+    (fun (s, d, i) ->
+      let existing = match Hashtbl.find_opt tbl (s, d) with Some l -> l | None -> [] in
+      Hashtbl.replace tbl (s, d) (i :: existing))
+    entries;
+  Hashtbl.fold (fun (s, d) is acc -> (s, d, is) :: acc) tbl []
+
+let load_csv path =
+  In_channel.with_open_text path (fun ic ->
+      Static.of_list (group_entries (interactions_of_channel ic)))
+
+let load_csv_graph path =
+  In_channel.with_open_text path (fun ic ->
+      List.fold_left
+        (fun g (srcv, dstv, i) -> Graph.add_interaction g ~src:srcv ~dst:dstv i)
+        Graph.empty (interactions_of_channel ic))
+
+let save_csv path g =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc "src,dst,time,qty\n";
+      Graph.iter_edges
+        (fun s d is ->
+          List.iter
+            (fun i ->
+              Printf.fprintf oc "%d,%d,%.17g,%.17g\n" s d (Interaction.time i)
+                (Interaction.qty i))
+            is)
+        g)
+
+let to_dot ?(graph_name = "tin") ?source ?sink g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n  rankdir=LR;\n" graph_name);
+  List.iter
+    (fun v ->
+      let shape =
+        if Some v = source then " [shape=doublecircle,style=filled,fillcolor=palegreen]"
+        else if Some v = sink then " [shape=doublecircle,style=filled,fillcolor=lightblue]"
+        else ""
+      in
+      Buffer.add_string buf (Printf.sprintf "  %d%s;\n" v shape))
+    (Graph.vertices g);
+  Graph.iter_edges
+    (fun s d is ->
+      let lbl = Format.asprintf "%a" Interaction.pp_list is in
+      Buffer.add_string buf (Printf.sprintf "  %d -> %d [label=\"%s\"];\n" s d lbl))
+    g;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,28 @@
+(** Loading and saving interaction networks.
+
+    The on-disk format is the four-column CSV used by the paper's
+    artifact: [src,dst,time,qty], one interaction per line.  Lines that
+    are empty or start with ['#'] are ignored.  An optional header line
+    [src,dst,time,qty] is recognised and skipped. *)
+
+exception Parse_error of { line : int; message : string }
+
+val interactions_of_channel : in_channel -> (int * int * Interaction.t) list
+(** Parses a channel.  Self-loops are skipped (with a [Logs] warning
+    counter), matching how the paper cleans its inputs.
+    @raise Parse_error on malformed lines. *)
+
+val load_csv : string -> Static.t
+(** Loads a CSV file into a compiled network. *)
+
+val load_csv_graph : string -> Graph.t
+
+val save_csv : string -> Graph.t -> unit
+(** Writes [src,dst,time,qty] lines, header included, edges in
+    deterministic order. *)
+
+val to_dot :
+  ?graph_name:string -> ?source:int -> ?sink:int -> Graph.t -> string
+(** GraphViz rendering of a (small) network: each edge is annotated
+    with its interaction sequence; [source]/[sink] are highlighted.
+    Useful to eyeball extracted subgraphs like the paper's Figure 10. *)

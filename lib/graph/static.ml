@@ -1,0 +1,181 @@
+type vertex = int
+type edge_id = int
+
+type t = {
+  labels : int array;
+  label_index : (int, int) Hashtbl.t;
+  out_idx : int array;
+  (* out_dst.(k) / out_eid.(k) for k in [out_idx.(v), out_idx.(v+1)) *)
+  out_dst : int array;
+  out_eid : int array;
+  in_idx : int array;
+  in_src : int array;
+  in_eid : int array;
+  edge_src : int array;
+  edge_dst : int array;
+  edge_inter : Interaction.t array array;
+  n_inter : int;
+}
+
+let of_list edges =
+  List.iter (fun (s, d, _) -> if s = d then invalid_arg "Static.of_list: self-loop") edges;
+  (* Compact labels. *)
+  let label_index = Hashtbl.create 1024 in
+  let labels = ref [] in
+  let intern l =
+    match Hashtbl.find_opt label_index l with
+    | Some v -> v
+    | None ->
+        let v = Hashtbl.length label_index in
+        Hashtbl.add label_index l v;
+        labels := l :: !labels;
+        v
+  in
+  (* Merge duplicate (src, dst) pairs. *)
+  let merged = Hashtbl.create 1024 in
+  List.iter
+    (fun (s, d, is) ->
+      (* Intern source before destination so compact ids follow first
+         appearance in reading order (deterministic and intuitive). *)
+      let ks = intern s in
+      let kd = intern d in
+      let key = (ks, kd) in
+      let existing = match Hashtbl.find_opt merged key with Some l -> l | None -> [] in
+      Hashtbl.replace merged key (List.rev_append is existing))
+    edges;
+  let n = Hashtbl.length label_index in
+  let labels = Array.of_list (List.rev !labels) in
+  let m = Hashtbl.length merged in
+  let edge_src = Array.make m 0
+  and edge_dst = Array.make m 0
+  and edge_inter = Array.make m [||] in
+  let pairs = Hashtbl.fold (fun k v acc -> (k, v) :: acc) merged [] in
+  let pairs = List.sort (fun ((a, b), _) ((c, d), _) -> compare (a, b) (c, d)) pairs in
+  let n_inter = ref 0 in
+  List.iteri
+    (fun eid ((s, d), is) ->
+      edge_src.(eid) <- s;
+      edge_dst.(eid) <- d;
+      let a = Array.of_list is in
+      Array.sort Interaction.compare a;
+      n_inter := !n_inter + Array.length a;
+      edge_inter.(eid) <- a)
+    pairs;
+  (* CSR rows: edges are already sorted by (src, dst), so the out side
+     fills sequentially; the in side needs a counting pass. *)
+  let out_idx = Array.make (n + 1) 0 and in_idx = Array.make (n + 1) 0 in
+  Array.iter (fun s -> out_idx.(s + 1) <- out_idx.(s + 1) + 1) edge_src;
+  Array.iter (fun d -> in_idx.(d + 1) <- in_idx.(d + 1) + 1) edge_dst;
+  for v = 0 to n - 1 do
+    out_idx.(v + 1) <- out_idx.(v + 1) + out_idx.(v);
+    in_idx.(v + 1) <- in_idx.(v + 1) + in_idx.(v)
+  done;
+  let out_dst = Array.make m 0 and out_eid = Array.make m 0 in
+  let in_src = Array.make m 0 and in_eid = Array.make m 0 in
+  let out_pos = Array.copy out_idx and in_pos = Array.copy in_idx in
+  for eid = 0 to m - 1 do
+    let s = edge_src.(eid) and d = edge_dst.(eid) in
+    out_dst.(out_pos.(s)) <- d;
+    out_eid.(out_pos.(s)) <- eid;
+    out_pos.(s) <- out_pos.(s) + 1;
+    in_src.(in_pos.(d)) <- s;
+    in_eid.(in_pos.(d)) <- eid;
+    in_pos.(d) <- in_pos.(d) + 1
+  done;
+  (* Sort each in-row by source for determinism (out rows are already
+     sorted because edges were sorted by (src, dst)). *)
+  for v = 0 to n - 1 do
+    let lo = in_idx.(v) and hi = in_idx.(v + 1) in
+    let len = hi - lo in
+    if len > 1 then begin
+      let tmp = Array.init len (fun k -> (in_src.(lo + k), in_eid.(lo + k))) in
+      Array.sort compare tmp;
+      Array.iteri
+        (fun k (s, e) ->
+          in_src.(lo + k) <- s;
+          in_eid.(lo + k) <- e)
+        tmp
+    end
+  done;
+  {
+    labels;
+    label_index;
+    out_idx;
+    out_dst;
+    out_eid;
+    in_idx;
+    in_src;
+    in_eid;
+    edge_src;
+    edge_dst;
+    edge_inter;
+    n_inter = !n_inter;
+  }
+
+let of_graph g =
+  of_list (Graph.fold_edges (fun s d is acc -> (s, d, is) :: acc) g [])
+
+let n_vertices t = Array.length t.labels
+let n_edges t = Array.length t.edge_src
+let n_interactions t = t.n_inter
+let label t v = t.labels.(v)
+let vertex_of_label t l = Hashtbl.find_opt t.label_index l
+let out_degree t v = t.out_idx.(v + 1) - t.out_idx.(v)
+let in_degree t v = t.in_idx.(v + 1) - t.in_idx.(v)
+
+let row_seq dst eid lo hi =
+  let rec go k () =
+    if k >= hi then Seq.Nil else Seq.Cons ((dst.(k), eid.(k)), go (k + 1))
+  in
+  go lo
+
+let succs t v = row_seq t.out_dst t.out_eid t.out_idx.(v) t.out_idx.(v + 1)
+let preds t v = row_seq t.in_src t.in_eid t.in_idx.(v) t.in_idx.(v + 1)
+
+let iter_succs t v f =
+  for k = t.out_idx.(v) to t.out_idx.(v + 1) - 1 do
+    f t.out_dst.(k) t.out_eid.(k)
+  done
+
+let iter_preds t v f =
+  for k = t.in_idx.(v) to t.in_idx.(v + 1) - 1 do
+    f t.in_src.(k) t.in_eid.(k)
+  done
+
+let find_edge t ~src ~dst =
+  (* Binary search over the sorted out-row of [src]. *)
+  let lo = ref t.out_idx.(src) and hi = ref (t.out_idx.(src + 1) - 1) in
+  let found = ref None in
+  while !found = None && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let d = t.out_dst.(mid) in
+    if d = dst then found := Some t.out_eid.(mid)
+    else if d < dst then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
+
+let edge_src t e = t.edge_src.(e)
+let edge_dst t e = t.edge_dst.(e)
+let interactions t e = t.edge_inter.(e)
+
+let edge_total_qty t e =
+  Array.fold_left (fun acc i -> acc +. Interaction.qty i) 0.0 t.edge_inter.(e)
+
+let edges_to_graph t eids =
+  let seen = Hashtbl.create 16 in
+  List.fold_left
+    (fun g eid ->
+      if Hashtbl.mem seen eid then g
+      else begin
+        Hashtbl.add seen eid ();
+        Graph.add_edge g
+          ~src:(label t t.edge_src.(eid))
+          ~dst:(label t t.edge_dst.(eid))
+          (Array.to_list t.edge_inter.(eid))
+      end)
+    Graph.empty eids
+
+let to_graph t = edges_to_graph t (List.init (n_edges t) Fun.id)
+
+let vertices t = Seq.init (n_vertices t) Fun.id

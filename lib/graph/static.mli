@@ -1,0 +1,67 @@
+(** Compiled, immutable CSR view of an interaction network.
+
+    Pattern enumeration (Section 5) browses adjacency lists of the
+    whole network millions of times; the persistent {!Graph} is built
+    for algorithmic surgery on small subgraphs, not for that.  This
+    module compiles an edge list into compressed sparse rows with
+    O(1) neighbour iteration and O(log d) edge lookup.
+
+    Vertex identifiers of the input are arbitrary integers; they are
+    compacted to [0 .. n-1] internally, and the original labels remain
+    available through {!label} / {!vertex_of_label}. *)
+
+type vertex = int
+(** Compact vertex id in [0 .. n_vertices - 1]. *)
+
+type edge_id = int
+(** Dense edge id in [0 .. n_edges - 1]. *)
+
+type t
+
+val of_list : (int * int * Interaction.t list) list -> t
+(** [of_list edges] compiles [(src_label, dst_label, interactions)]
+    triples.  Duplicate [(src, dst)] entries are merged; interactions
+    are sorted by time.  Self-loops are rejected. *)
+
+val of_graph : Graph.t -> t
+
+val n_vertices : t -> int
+val n_edges : t -> int
+val n_interactions : t -> int
+
+val label : t -> vertex -> int
+(** Original integer label of a compact vertex id. *)
+
+val vertex_of_label : t -> int -> vertex option
+
+val out_degree : t -> vertex -> int
+val in_degree : t -> vertex -> int
+
+val succs : t -> vertex -> (vertex * edge_id) Seq.t
+(** Successors in increasing compact-id order with the connecting edge. *)
+
+val preds : t -> vertex -> (vertex * edge_id) Seq.t
+
+val iter_succs : t -> vertex -> (vertex -> edge_id -> unit) -> unit
+val iter_preds : t -> vertex -> (vertex -> edge_id -> unit) -> unit
+
+val find_edge : t -> src:vertex -> dst:vertex -> edge_id option
+(** Binary search in the CSR row. *)
+
+val edge_src : t -> edge_id -> vertex
+val edge_dst : t -> edge_id -> vertex
+
+val interactions : t -> edge_id -> Interaction.t array
+(** Time-sorted interactions of an edge.  The returned array is the
+    internal one — callers must not mutate it. *)
+
+val edge_total_qty : t -> edge_id -> float
+
+val to_graph : t -> Graph.t
+(** Whole network as a persistent graph (original labels). *)
+
+val edges_to_graph : t -> edge_id list -> Graph.t
+(** Persistent subgraph induced by a set of edges (original labels);
+    duplicate ids are harmless. *)
+
+val vertices : t -> vertex Seq.t

@@ -1,0 +1,182 @@
+type outcome =
+  | Optimal of { objective : float; solution : float array }
+  | Unbounded
+  | Iteration_limit
+
+(* Bounded-variable primal simplex, dense tableau.
+
+   Columns 0..n-1 are the structural variables (bounds [0, u_j]),
+   columns n..n+m-1 the slacks (bounds [0, inf)).  The tableau [t]
+   holds B^-1 A for all columns; [b] holds the basic variable values;
+   [basis.(i)] is the variable basic in row i; nonbasic variables sit
+   at one of their bounds, recorded in [at_upper].
+
+   The origin (all structural variables at 0, slacks basic at rhs) is
+   feasible because rhs >= 0, so no phase 1 is needed. *)
+let solve ?(eps = 1e-9) ?(max_iters = 50_000) ~c ~upper ~rows () =
+  let n = Array.length c in
+  if Array.length upper <> n then invalid_arg "Bounded.solve: bounds arity mismatch";
+  Array.iter
+    (fun u -> if Float.is_nan u || u < 0.0 then invalid_arg "Bounded.solve: bad upper bound")
+    upper;
+  List.iter
+    (fun (coefs, rhs) ->
+      if Array.length coefs <> n then invalid_arg "Bounded.solve: row arity mismatch";
+      if rhs < 0.0 then invalid_arg "Bounded.solve: negative rhs (origin must be feasible)")
+    rows;
+  let m = List.length rows in
+  let ncols = n + m in
+  let t = Array.make_matrix m ncols 0.0 in
+  let b = Array.make m 0.0 in
+  let basis = Array.make m 0 in
+  List.iteri
+    (fun i (coefs, rhs) ->
+      Array.blit coefs 0 t.(i) 0 n;
+      t.(i).(n + i) <- 1.0;
+      b.(i) <- rhs;
+      basis.(i) <- n + i)
+    rows;
+  let bound j = if j < n then upper.(j) else infinity in
+  let at_upper = Array.make ncols false in
+  let is_basic = Array.make ncols false in
+  for i = 0 to m - 1 do
+    is_basic.(basis.(i)) <- true
+  done;
+  (* Reduced-cost row d_j = c_j - z_j, maintained under pivots. *)
+  let obj = Array.make ncols 0.0 in
+  Array.blit c 0 obj 0 n;
+  let bland_after = 200 + (20 * (m + ncols)) in
+  let rec iterate k =
+    if k > max_iters then Iteration_limit
+    else begin
+      let bland = k > bland_after in
+      (* Entering variable: improving means d_j > 0 at lower bound or
+         d_j < 0 at upper bound. *)
+      let improving j =
+        (not is_basic.(j))
+        && ((not at_upper.(j)) && obj.(j) > eps) || ((not is_basic.(j)) && at_upper.(j) && obj.(j) < -.eps)
+      in
+      let q = ref (-1) in
+      if bland then begin
+        let j = ref 0 in
+        while !q < 0 && !j < ncols do
+          if improving !j then q := !j;
+          incr j
+        done
+      end
+      else begin
+        let best = ref eps in
+        for j = 0 to ncols - 1 do
+          if improving j && Float.abs obj.(j) > !best then begin
+            best := Float.abs obj.(j);
+            q := j
+          end
+        done
+      end;
+      if !q < 0 then begin
+        (* Optimal: read the solution off the basis and bound flags. *)
+        let solution = Array.make n 0.0 in
+        for j = 0 to n - 1 do
+          if (not is_basic.(j)) && at_upper.(j) then solution.(j) <- upper.(j)
+        done;
+        Array.iteri (fun i v -> if v < n then solution.(v) <- b.(i)) basis;
+        let objective = ref 0.0 in
+        for j = 0 to n - 1 do
+          objective := !objective +. (c.(j) *. solution.(j))
+        done;
+        Optimal { objective = !objective; solution }
+      end
+      else begin
+        let q = !q in
+        let sigma = if at_upper.(q) then -1.0 else 1.0 in
+        (* Ratio test over z_i = sigma * y_iq. *)
+        let t_star = ref (bound q) in
+        (* bound flip distance *)
+        let block = ref (-1) in
+        (* -1 = bound flip; else blocking row *)
+        let block_at_upper = ref false in
+        for i = 0 to m - 1 do
+          let z = sigma *. t.(i).(q) in
+          if z > eps then begin
+            let ratio = b.(i) /. z in
+            if
+              ratio < !t_star -. 1e-12
+              || (ratio < !t_star +. 1e-12 && !block >= 0 && basis.(i) < basis.(!block))
+            then begin
+              t_star := ratio;
+              block := i;
+              block_at_upper := false
+            end
+          end
+          else if z < -.eps then begin
+            let ub = bound basis.(i) in
+            if ub < infinity then begin
+              let ratio = (ub -. b.(i)) /. -.z in
+              if
+                ratio < !t_star -. 1e-12
+                || (ratio < !t_star +. 1e-12 && !block >= 0 && basis.(i) < basis.(!block))
+              then begin
+                t_star := ratio;
+                block := i;
+                block_at_upper := true
+              end
+            end
+          end
+        done;
+        if !t_star = infinity then Unbounded
+        else begin
+          let step = Float.max 0.0 !t_star in
+          (* Move the basic values along the direction. *)
+          for i = 0 to m - 1 do
+            b.(i) <- b.(i) -. (step *. sigma *. t.(i).(q));
+            if b.(i) < 0.0 && b.(i) > -1e-11 then b.(i) <- 0.0
+          done;
+          if !block < 0 then begin
+            (* Bound flip: q jumps to its other bound; no pivot. *)
+            at_upper.(q) <- not at_upper.(q);
+            iterate (k + 1)
+          end
+          else begin
+            let r = !block in
+            let p = basis.(r) in
+            (* Value of q after the move. *)
+            let vq = (if at_upper.(q) then bound q else 0.0) +. (sigma *. step) in
+            (* Pivot the tableau on (r, q). *)
+            let prow = t.(r) in
+            let piv = prow.(q) in
+            for j = 0 to ncols - 1 do
+              prow.(j) <- prow.(j) /. piv
+            done;
+            prow.(q) <- 1.0;
+            for i = 0 to m - 1 do
+              if i <> r then begin
+                let f = t.(i).(q) in
+                if f <> 0.0 then begin
+                  let irow = t.(i) in
+                  for j = 0 to ncols - 1 do
+                    irow.(j) <- irow.(j) -. (f *. prow.(j))
+                  done;
+                  irow.(q) <- 0.0
+                end
+              end
+            done;
+            let f = obj.(q) in
+            if f <> 0.0 then begin
+              for j = 0 to ncols - 1 do
+                obj.(j) <- obj.(j) -. (f *. prow.(j))
+              done;
+              obj.(q) <- 0.0
+            end;
+            basis.(r) <- q;
+            is_basic.(q) <- true;
+            is_basic.(p) <- false;
+            at_upper.(p) <- !block_at_upper;
+            at_upper.(q) <- false;
+            b.(r) <- vq;
+            iterate (k + 1)
+          end
+        end
+      end
+    end
+  in
+  iterate 0

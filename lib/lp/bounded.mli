@@ -1,0 +1,34 @@
+(** Simplex with native upper bounds ("bounded-variable simplex").
+
+    The flow LP of Section 4.2.1 has one bound pair [0 ≤ x_i ≤ q_i]
+    per interaction.  Encoding the upper bounds as explicit rows (what
+    {!Simplex} requires) doubles the tableau height; the classic
+    bounded-variable simplex instead keeps nonbasic variables at
+    either bound and handles "bound flips" without pivoting, so the
+    tableau has only the true buffer constraints.  On flow LPs this
+    roughly halves memory and row-eliminations per pivot — the
+    trade-off is measured by the [ablation] benchmark target.
+
+    Scope: maximization over [A x ≤ b] with [b ≥ 0] and
+    [0 ≤ x ≤ u] ([u_j] may be [infinity]) — exactly the shape of the
+    paper's LP, which is feasible at the origin.
+    @raise Invalid_argument if some [b < 0] (use {!Simplex} for
+    general rows). *)
+
+type outcome =
+  | Optimal of { objective : float; solution : float array }
+  | Unbounded
+  | Iteration_limit
+
+val solve :
+  ?eps:float ->
+  ?max_iters:int ->
+  c:float array ->
+  upper:float array ->
+  rows:(float array * float) list ->
+  unit ->
+  outcome
+(** [solve ~c ~upper ~rows ()] maximizes [c·x] subject to
+    [coefs·x ≤ rhs] for each row and [0 ≤ x_j ≤ upper.(j)].
+    @param eps pivot tolerance (default [1e-9]).
+    @param max_iters hard cap (default [50_000]). *)

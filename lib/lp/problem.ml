@@ -1,0 +1,184 @@
+type var = int
+
+type status = [ `Optimal | `Infeasible | `Unbounded | `Iteration_limit ]
+
+type solution = { status : status; objective : float; value : var -> float }
+type direction = Maximize | Minimize
+
+type var_info = { lb : float; ub : float; obj : float; name : string }
+
+type t = {
+  direction : direction;
+  mutable vars : var_info list; (* reversed *)
+  mutable nvars : int;
+  mutable rows : ((float * var) list * Simplex.sense * float) list; (* reversed *)
+  mutable nrows : int;
+  mutable frozen : bool;
+}
+
+let create ?(direction = Maximize) () =
+  { direction; vars = []; nvars = 0; rows = []; nrows = 0; frozen = false }
+
+let check_open t name = if t.frozen then invalid_arg (name ^ ": problem already solved")
+
+let add_var ?(lb = 0.0) ?(ub = infinity) ?(obj = 0.0) ?name t =
+  check_open t "Problem.add_var";
+  if Float.is_nan lb || Float.is_nan ub || Float.is_nan obj then
+    invalid_arg "Problem.add_var: NaN parameter";
+  if lb > ub then invalid_arg "Problem.add_var: lb > ub";
+  let id = t.nvars in
+  let name = match name with Some n -> n | None -> Printf.sprintf "x%d" id in
+  t.vars <- { lb; ub; obj; name } :: t.vars;
+  t.nvars <- t.nvars + 1;
+  id
+
+let add_row t terms sense rhs =
+  check_open t "Problem.add_constraint";
+  List.iter
+    (fun (_, v) ->
+      if v < 0 || v >= t.nvars then invalid_arg "Problem.add_constraint: unknown variable")
+    terms;
+  t.rows <- (terms, sense, rhs) :: t.rows;
+  t.nrows <- t.nrows + 1
+
+let add_le t terms rhs = add_row t terms Simplex.Le rhs
+let add_ge t terms rhs = add_row t terms Simplex.Ge rhs
+let add_eq t terms rhs = add_row t terms Simplex.Eq rhs
+
+let n_vars t = t.nvars
+let n_constraints t = t.nrows
+
+let var_name t v =
+  match List.nth_opt (List.rev t.vars) v with
+  | Some info -> info.name
+  | None -> invalid_arg "Problem.var_name: unknown variable"
+
+(* Standard-form translation.
+
+   Each user variable [x] with bounds [lb, ub] maps to non-negative
+   standard variables:
+   - [lb = 0]:                x = y
+   - finite [lb]:             x = y + lb          (shift)
+   - [lb = -inf]:             x = y+ - y-         (split)
+   Finite upper bounds become extra rows over the mapped expression. *)
+type mapping =
+  | Shift of int * float (* x = std.(i) + offset *)
+  | Split of int * int (* x = std.(i) - std.(j) *)
+
+type solver = [ `Auto | `Dense | `Bounded ]
+
+let solve ?(solver = `Auto) ?eps ?max_iters t =
+  t.frozen <- true;
+  let vars = Array.of_list (List.rev t.vars) in
+  let nv = Array.length vars in
+  let mapping = Array.make nv (Shift (0, 0.0)) in
+  let nstd = ref 0 in
+  let fresh () =
+    let i = !nstd in
+    incr nstd;
+    i
+  in
+  Array.iteri
+    (fun i { lb; _ } ->
+      if lb = neg_infinity then mapping.(i) <- Split (fresh (), fresh ())
+      else mapping.(i) <- Shift (fresh (), lb))
+    vars;
+  let n = !nstd in
+  (* Objective over standard variables; Minimize flips the sign. *)
+  let sign = match t.direction with Maximize -> 1.0 | Minimize -> -1.0 in
+  let c = Array.make n 0.0 in
+  let obj_const = ref 0.0 in
+  Array.iteri
+    (fun i { obj; _ } ->
+      match mapping.(i) with
+      | Shift (j, off) ->
+          c.(j) <- c.(j) +. (sign *. obj);
+          obj_const := !obj_const +. (obj *. off)
+      | Split (jp, jm) ->
+          c.(jp) <- c.(jp) +. (sign *. obj);
+          c.(jm) <- c.(jm) -. (sign *. obj))
+    vars;
+  (* Constraint rows. *)
+  let expand terms =
+    let coefs = Array.make n 0.0 and const = ref 0.0 in
+    List.iter
+      (fun (coef, v) ->
+        match mapping.(v) with
+        | Shift (j, off) ->
+            coefs.(j) <- coefs.(j) +. coef;
+            const := !const +. (coef *. off)
+        | Split (jp, jm) ->
+            coefs.(jp) <- coefs.(jp) +. coef;
+            coefs.(jm) <- coefs.(jm) -. coef)
+      terms;
+    (coefs, !const)
+  in
+  let rows = ref [] in
+  List.iter
+    (fun (terms, sense, rhs) ->
+      let coefs, const = expand terms in
+      rows := (coefs, sense, rhs -. const) :: !rows)
+    t.rows;
+  (* The bounded solver handles [0 <= y <= u] natively when every row
+     is a <= with non-negative (shift-adjusted) rhs and no variable was
+     split; otherwise upper bounds become extra rows for the dense
+     solver. *)
+  let bounded_ok =
+    Array.for_all (fun m -> match m with Shift _ -> true | Split _ -> false) mapping
+    && List.for_all (fun (_, sense, rhs) -> sense = Simplex.Le && rhs >= 0.0) !rows
+  in
+  let use_bounded =
+    match solver with
+    | `Bounded ->
+        if not bounded_ok then
+          invalid_arg "Problem.solve: `Bounded requires <= rows, non-negative rhs, no free vars";
+        true
+    | `Dense -> false
+    | `Auto -> bounded_ok
+  in
+  let outcome =
+    if use_bounded then begin
+      let upper = Array.make n infinity in
+      Array.iteri
+        (fun i { ub; _ } ->
+          match mapping.(i) with
+          | Shift (j, off) -> upper.(j) <- ub -. off
+          | Split _ -> assert false)
+        vars;
+      let brows = List.map (fun (coefs, _, rhs) -> (coefs, rhs)) !rows in
+      match Bounded.solve ?eps ?max_iters ~c ~upper ~rows:brows () with
+      | Bounded.Optimal { objective; solution } -> Simplex.Optimal { objective; solution }
+      | Bounded.Unbounded -> Simplex.Unbounded
+      | Bounded.Iteration_limit -> Simplex.Iteration_limit
+    end
+    else begin
+      (* Finite upper bounds as explicit rows. *)
+      Array.iteri
+        (fun i { ub; _ } ->
+          if ub < infinity then begin
+            let coefs, const = expand [ (1.0, i) ] in
+            rows := (coefs, Simplex.Le, ub -. const) :: !rows
+          end)
+        vars;
+      Simplex.solve ?eps ?max_iters ~c ~rows:!rows ()
+    end
+  in
+  match outcome with
+  | Simplex.Optimal { solution; _ } ->
+      let value v =
+        if v < 0 || v >= nv then invalid_arg "Problem.solution.value: unknown variable"
+        else
+          match mapping.(v) with
+          | Shift (j, off) -> solution.(j) +. off
+          | Split (jp, jm) -> solution.(jp) -. solution.(jm)
+      in
+      let objective =
+        Array.to_list (Array.mapi (fun i { obj; _ } -> obj *. value i) vars)
+        |> List.fold_left ( +. ) 0.0
+      in
+      ignore !obj_const;
+      { status = `Optimal; objective; value }
+  | Simplex.Infeasible -> { status = `Infeasible; objective = 0.0; value = (fun _ -> 0.0) }
+  | Simplex.Unbounded -> { status = `Unbounded; objective = 0.0; value = (fun _ -> 0.0) }
+  | Simplex.Iteration_limit ->
+      { status = `Iteration_limit; objective = 0.0; value = (fun _ -> 0.0) }

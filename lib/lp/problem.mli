@@ -1,0 +1,55 @@
+(** Linear-programming front end.
+
+    A mutable problem builder in the style of classic LP libraries
+    (the paper's implementation used lpsolve): create variables with
+    bounds and objective coefficients, add linear constraints, then
+    {!solve}.  General bounds are reduced to the standard form expected
+    by {!Simplex}: positive lower bounds are shifted away, finite upper
+    bounds become rows, and free variables are split. *)
+
+type t
+type var
+
+type status = [ `Optimal | `Infeasible | `Unbounded | `Iteration_limit ]
+
+type solution = {
+  status : status;
+  objective : float;  (** Meaningful only when [status = `Optimal]. *)
+  value : var -> float;
+      (** Optimal value of a variable; [0.] unless [`Optimal]. *)
+}
+
+type direction = Maximize | Minimize
+
+val create : ?direction:direction -> unit -> t
+(** Fresh problem; default direction is [Maximize]. *)
+
+val add_var : ?lb:float -> ?ub:float -> ?obj:float -> ?name:string -> t -> var
+(** New variable with bounds [\[lb, ub\]] (defaults [0., infinity]) and
+    objective coefficient [obj] (default [0.]).  [lb] may be
+    [neg_infinity] (free variable) and [ub] [infinity].
+    @raise Invalid_argument if [lb > ub] or called after {!solve}. *)
+
+val add_le : t -> (float * var) list -> float -> unit
+(** [add_le p terms rhs] adds [Σ coef·var ≤ rhs].  Repeated variables
+    in [terms] are summed. *)
+
+val add_ge : t -> (float * var) list -> float -> unit
+val add_eq : t -> (float * var) list -> float -> unit
+
+val n_vars : t -> int
+val n_constraints : t -> int
+
+val var_name : t -> var -> string
+
+type solver = [ `Auto | `Dense | `Bounded ]
+(** [`Dense] is the two-phase row simplex ({!Simplex}: any
+    constraints); [`Bounded] the bounded-variable simplex
+    ({!Bounded}: only [≤] rows feasible at the lower-bound origin,
+    but upper bounds cost no extra rows); [`Auto] picks [`Bounded]
+    when the problem shape allows and [`Dense] otherwise. *)
+
+val solve : ?solver:solver -> ?eps:float -> ?max_iters:int -> t -> solution
+(** Solves the problem.  The builder is frozen afterwards.
+    @raise Invalid_argument if [`Bounded] is forced on a problem
+    outside its shape. *)

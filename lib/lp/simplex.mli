@@ -1,0 +1,39 @@
+(** Two-phase primal simplex on the dense tableau.
+
+    This is the solver core: it expects a problem already in standard
+    form — maximize [c·x] subject to [A x (≤|=|≥) b] with [x ≥ 0] —
+    and handles right-hand-side normalisation, slack/surplus/artificial
+    variables, phase 1 feasibility, and phase 2 optimisation itself.
+    Pivoting uses Dantzig pricing and switches to Bland's rule after a
+    stall threshold, which guarantees termination on degenerate
+    problems.
+
+    The higher-level {!Problem} module translates general variable
+    bounds and free variables into this form; most users should go
+    through it. *)
+
+type sense = Le | Ge | Eq
+
+type outcome =
+  | Optimal of { objective : float; solution : float array }
+      (** Optimal basic solution; [solution] has one entry per original
+          (standard-form) variable. *)
+  | Infeasible  (** Phase 1 ended with positive artificial value. *)
+  | Unbounded  (** A pivot column had no blocking row in phase 2. *)
+  | Iteration_limit
+      (** Safety valve; with Bland's rule active this indicates a
+          pathological instance rather than cycling. *)
+
+val solve :
+  ?eps:float ->
+  ?max_iters:int ->
+  c:float array ->
+  rows:(float array * sense * float) list ->
+  unit ->
+  outcome
+(** [solve ~c ~rows ()] maximizes [c·x] subject to [rows] and [x ≥ 0].
+    Each row is [(coefficients, sense, rhs)]; every coefficient array
+    must have the same length as [c].
+
+    @param eps pivot/zero tolerance (default [1e-9]).
+    @param max_iters hard iteration cap (default [50_000]). *)

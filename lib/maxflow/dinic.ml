@@ -1,0 +1,61 @@
+let eps = 1e-12
+
+let max_flow net ~source ~sink =
+  if source = sink then invalid_arg "Dinic.max_flow: source = sink";
+  let n = Net.n_nodes net in
+  let level = Array.make n (-1) in
+  let iter = Array.make n 0 in
+  let queue = Queue.create () in
+  let bfs () =
+    Array.fill level 0 n (-1);
+    Queue.clear queue;
+    level.(source) <- 0;
+    Queue.add source queue;
+    while not (Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      Array.iter
+        (fun a ->
+          let u = Net.dst net a in
+          if level.(u) < 0 && Net.residual net a > eps then begin
+            level.(u) <- level.(v) + 1;
+            Queue.add u queue
+          end)
+        (Net.adj net v)
+    done;
+    level.(sink) >= 0
+  in
+  (* DFS for a blocking flow; [iter] remembers the next arc to try per
+     node so each arc is examined O(1) times per phase. *)
+  let rec dfs v limit =
+    if v = sink then limit
+    else begin
+      let arcs = Net.adj net v in
+      let pushed = ref 0.0 in
+      let continue = ref true in
+      while !continue && iter.(v) < Array.length arcs do
+        let a = arcs.(iter.(v)) in
+        let u = Net.dst net a in
+        if level.(u) = level.(v) + 1 && Net.residual net a > eps then begin
+          let f = dfs u (Float.min limit (Net.residual net a)) in
+          if f > eps then begin
+            Net.augment net a f;
+            pushed := f;
+            continue := false
+          end
+          else iter.(v) <- iter.(v) + 1
+        end
+        else iter.(v) <- iter.(v) + 1
+      done;
+      !pushed
+    end
+  in
+  let total = ref 0.0 in
+  while bfs () do
+    Array.fill iter 0 n 0;
+    let continue = ref true in
+    while !continue do
+      let f = dfs source infinity in
+      if f > eps then total := !total +. f else continue := false
+    done
+  done;
+  !total

@@ -1,0 +1,8 @@
+(** Dinic's maximum-flow algorithm: BFS level graph + DFS blocking
+    flows, O(V²·E) (much faster in practice on the sparse
+    time-expanded networks produced by {!Time_expand}). *)
+
+val max_flow : Net.t -> source:int -> sink:int -> float
+(** Computes the maximum [source]→[sink] flow, mutating the network's
+    residual capacities.  Returns the flow value.
+    @raise Invalid_argument if [source = sink]. *)

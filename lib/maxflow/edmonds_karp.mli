@@ -1,0 +1,9 @@
+(** Edmonds–Karp maximum flow: BFS shortest augmenting paths,
+    O(V·E²).  The paper's complexity discussion (Section 4.2.1) is
+    phrased in terms of this algorithm on the time-expanded network. *)
+
+val max_flow : Net.t -> source:int -> sink:int -> float
+(** Computes the maximum [source]→[sink] flow, mutating the network's
+    residual capacities (per-arc flows are then available through
+    {!Net.flow}).  Returns the flow value.
+    @raise Invalid_argument if [source = sink]. *)

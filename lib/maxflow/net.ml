@@ -1,0 +1,109 @@
+type arc = int
+
+type t = {
+  mutable n : int;
+  mutable m : int; (* arc slots in use (forward + residual) *)
+  mutable arc_dst : int array;
+  mutable arc_res : float array;
+  mutable arc_cap : float array; (* original capacity; 0 for residual twins *)
+  mutable adj_lists : arc list array; (* per node, reversed insertion order *)
+  mutable adj_cache : arc array array option;
+}
+
+let create ~n =
+  {
+    n;
+    m = 0;
+    arc_dst = Array.make 16 0;
+    arc_res = Array.make 16 0.0;
+    arc_cap = Array.make 16 0.0;
+    adj_lists = Array.make (max n 1) [];
+    adj_cache = None;
+  }
+
+let add_node t =
+  let id = t.n in
+  t.n <- t.n + 1;
+  if t.n > Array.length t.adj_lists then begin
+    let grown = Array.make (2 * t.n) [] in
+    Array.blit t.adj_lists 0 grown 0 (Array.length t.adj_lists);
+    t.adj_lists <- grown
+  end;
+  t.adj_cache <- None;
+  id
+
+let ensure_arc_room t =
+  if t.m + 2 > Array.length t.arc_dst then begin
+    let cap = 2 * (t.m + 2) in
+    let grow_i a =
+      let g = Array.make cap 0 in
+      Array.blit a 0 g 0 t.m;
+      g
+    and grow_f a =
+      let g = Array.make cap 0.0 in
+      Array.blit a 0 g 0 t.m;
+      g
+    in
+    t.arc_dst <- grow_i t.arc_dst;
+    t.arc_res <- grow_f t.arc_res;
+    t.arc_cap <- grow_f t.arc_cap
+  end
+
+let add_arc t ~src ~dst ~cap =
+  if Float.is_nan cap || cap < 0.0 then invalid_arg "Net.add_arc: bad capacity";
+  if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
+    invalid_arg "Net.add_arc: node out of range";
+  ensure_arc_room t;
+  let a = t.m in
+  t.arc_dst.(a) <- dst;
+  t.arc_res.(a) <- cap;
+  t.arc_cap.(a) <- cap;
+  t.arc_dst.(a + 1) <- src;
+  t.arc_res.(a + 1) <- 0.0;
+  t.arc_cap.(a + 1) <- 0.0;
+  t.m <- t.m + 2;
+  t.adj_lists.(src) <- a :: t.adj_lists.(src);
+  t.adj_lists.(dst) <- (a + 1) :: t.adj_lists.(dst);
+  t.adj_cache <- None;
+  a
+
+let n_nodes t = t.n
+let n_arcs t = t.m / 2
+let capacity t a = t.arc_cap.(a)
+
+let flow t a =
+  (* Flow on a forward arc equals the residual capacity accumulated on
+     its twin. *)
+  t.arc_res.(a lxor 1) -. t.arc_cap.(a lxor 1)
+
+let copy t =
+  {
+    t with
+    arc_dst = Array.copy t.arc_dst;
+    arc_res = Array.copy t.arc_res;
+    arc_cap = Array.copy t.arc_cap;
+    adj_lists = Array.copy t.adj_lists;
+    adj_cache = None;
+  }
+
+let reset t =
+  Array.blit t.arc_cap 0 t.arc_res 0 t.m
+
+let dst t a = t.arc_dst.(a)
+let twin a = a lxor 1
+let residual t a = t.arc_res.(a)
+
+let augment t a f =
+  t.arc_res.(a) <- t.arc_res.(a) -. f;
+  t.arc_res.(a lxor 1) <- t.arc_res.(a lxor 1) +. f
+
+let adj t v =
+  let cache =
+    match t.adj_cache with
+    | Some c when Array.length c = t.n -> c
+    | _ ->
+        let c = Array.init t.n (fun v -> Array.of_list (List.rev t.adj_lists.(v))) in
+        t.adj_cache <- Some c;
+        c
+  in
+  cache.(v)

@@ -1,0 +1,318 @@
+module Endpoints = Tin_core.Endpoints
+module Pipeline = Tin_core.Pipeline
+module Simplify = Tin_core.Simplify
+
+type rigid = P1 | P2 | P3 | P4 | P5 | P6
+type relaxed = RP1 | RP2 | RP3
+type pattern = Rigid of rigid | Relaxed of relaxed
+
+let all_rigid = [ P1; P2; P3; P4; P5; P6 ]
+let all_relaxed = [ RP1; RP2; RP3 ]
+let all = List.map (fun p -> Rigid p) all_rigid @ List.map (fun p -> Relaxed p) all_relaxed
+
+let pattern_name = function
+  | Rigid P1 -> "P1"
+  | Rigid P2 -> "P2"
+  | Rigid P3 -> "P3"
+  | Rigid P4 -> "P4"
+  | Rigid P5 -> "P5"
+  | Rigid P6 -> "P6"
+  | Relaxed RP1 -> "RP1"
+  | Relaxed RP2 -> "RP2"
+  | Relaxed RP3 -> "RP3"
+
+let rigid_pattern = function
+  | P1 -> Pattern.make ~name:"P1" ~labels:[| 0; 1; 2 |] ~edges:[ (0, 1); (1, 2) ]
+  | P2 -> Pattern.make ~name:"P2" ~labels:[| 0; 1; 0 |] ~edges:[ (0, 1); (1, 2) ]
+  | P3 -> Pattern.make ~name:"P3" ~labels:[| 0; 1; 2; 0 |] ~edges:[ (0, 1); (1, 2); (2, 3) ]
+  | P4 ->
+      Pattern.make ~name:"P4" ~labels:[| 0; 1; 2; 0 |] ~edges:[ (0, 1); (1, 2); (2, 3); (1, 3) ]
+  | P5 ->
+      Pattern.make ~name:"P5" ~labels:[| 0; 1; 2; 3; 0 |]
+        ~edges:[ (0, 1); (1, 4); (0, 2); (2, 3); (3, 4) ]
+  | P6 ->
+      Pattern.make ~name:"P6" ~labels:[| 0; 1; 2; 0 |]
+        ~edges:[ (0, 1); (1, 2); (2, 3); (0, 2); (1, 3) ]
+
+let needs_chains = function
+  | Rigid P1 | Relaxed RP1 -> true
+  | Rigid (P2 | P3 | P4 | P5 | P6) | Relaxed (RP2 | RP3) -> false
+
+type result = { instances : int; total_flow : float; truncated : bool; timed_out : bool }
+
+let avg_flow r = if r.instances = 0 then 0.0 else r.total_flow /. float_of_int r.instances
+
+type tables = { l2 : Tables.t; l3 : Tables.t; c2 : Tables.t option }
+
+let precompute ?(with_chains = false) net =
+  {
+    l2 = Tables.cycles2 net;
+    l3 = Tables.cycles3 net;
+    c2 = (if with_chains then Some (Tables.chains2 net) else None);
+  }
+
+(* Accumulator with early termination on an instance limit or a
+   wall-clock deadline. *)
+type acc = {
+  mutable count : int;
+  mutable flow : float;
+  mutable truncated : bool;
+  mutable timed_out : bool;
+  limit : int;
+  deadline : int64 option; (* monotonic ns *)
+}
+
+let fresh_acc ?time_budget_ms limit =
+  let deadline =
+    Option.map
+      (fun ms -> Int64.add (Tin_util.Timer.now_ns ()) (Int64.of_float (ms *. 1e6)))
+      time_budget_ms
+  in
+  { count = 0; flow = 0.0; truncated = false; timed_out = false; limit; deadline }
+
+exception Done
+
+let expired acc =
+  match acc.deadline with
+  | Some d when Tin_util.Timer.now_ns () > d -> true
+  | _ -> false
+
+(* For polling inside dry spells (no instances found for a while). *)
+let stopper acc =
+  let probes = ref 0 in
+  fun () ->
+    incr probes;
+    if !probes land 0xFFF <> 0 then false
+    else if expired acc then begin
+      acc.truncated <- true;
+      acc.timed_out <- true;
+      true
+    end
+    else false
+
+let add acc f =
+  acc.count <- acc.count + 1;
+  acc.flow <- acc.flow +. f;
+  if acc.count >= acc.limit then begin
+    acc.truncated <- true;
+    raise Done
+  end;
+  if expired acc then begin
+    acc.truncated <- true;
+    acc.timed_out <- true;
+    raise Done
+  end
+
+let finish acc =
+  {
+    instances = acc.count;
+    total_flow = acc.flow;
+    truncated = acc.truncated;
+    timed_out = acc.timed_out;
+  }
+
+(* Greedy flow along a free-standing chain of edges given by edge ids
+   (used by the on-the-fly GB paths: same semantics as the table
+   rows). *)
+let chain_flow net eids =
+  let edges =
+    List.map (fun e -> (Static.edge_dst net e, Array.to_list (Static.interactions net e))) eids
+  in
+  Interaction.total_qty (Simplify.reduce_chain_interactions edges)
+
+(* Maximum flow of a cyclic instance anchored at [anchor]. *)
+let cyclic_instance_flow net eids ~anchor =
+  let g = Static.edges_to_graph net eids in
+  let ep = Endpoints.split g ~vertex:(Static.label net anchor) in
+  Pipeline.max_flow ep.Endpoints.graph ~source:ep.Endpoints.source ~sink:ep.Endpoints.sink
+
+(* ------------------------------------------------------------------ *)
+(* Graph browsing                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let gb_custom ?(limit = max_int) ?time_budget_ms net pat =
+  let acc = fresh_acc ?time_budget_ms limit in
+  (try
+     Pattern.browse
+       ~should_stop:(fun () ->
+         if expired acc then begin
+           acc.truncated <- true;
+           acc.timed_out <- true;
+           true
+         end
+         else false)
+       net pat
+       (fun mu -> add acc (Pattern.instance_flow net pat mu))
+   with Done -> ());
+  finish acc
+
+let gb_rigid ?limit ?time_budget_ms net r =
+  gb_custom ?limit ?time_budget_ms net (rigid_pattern r)
+
+(* Relaxed patterns aggregate the flows of all short paths per anchor
+   (Section 5.3): one instance per anchor (RP2/RP3) or per endpoint
+   pair (RP1). *)
+let gb_relaxed ?(limit = max_int) ?time_budget_ms net r =
+  let acc = fresh_acc ?time_budget_ms limit in
+  let stop = stopper acc in
+  let poll () = if stop () then raise Done in
+  let n = Static.n_vertices net in
+  (try
+     match r with
+     | RP2 ->
+         for a = 0 to n - 1 do
+           let flow = ref 0.0 and found = ref false in
+           Static.iter_succs net a (fun b e_ab ->
+               poll ();
+               match Static.find_edge net ~src:b ~dst:a with
+               | Some e_ba ->
+                   found := true;
+                   flow := !flow +. chain_flow net [ e_ab; e_ba ]
+               | None -> ());
+           if !found then add acc !flow
+         done
+     | RP3 ->
+         for a = 0 to n - 1 do
+           let flow = ref 0.0 and found = ref false in
+           Static.iter_succs net a (fun b e_ab ->
+               if b <> a then
+                 Static.iter_succs net b (fun c e_bc ->
+                     poll ();
+                     if c <> a && c <> b then
+                       match Static.find_edge net ~src:c ~dst:a with
+                       | Some e_ca ->
+                           found := true;
+                           flow := !flow +. chain_flow net [ e_ab; e_bc; e_ca ]
+                       | None -> ()));
+           if !found then add acc !flow
+         done
+     | RP1 ->
+         for a = 0 to n - 1 do
+           (* Aggregate 2-hop chain flows per final vertex c. *)
+           let per_c = Hashtbl.create 16 in
+           Static.iter_succs net a (fun b e_ab ->
+               Static.iter_succs net b (fun c e_bc ->
+                   poll ();
+                   if c <> a && c <> b then begin
+                     let f = chain_flow net [ e_ab; e_bc ] in
+                     let prev = Option.value ~default:0.0 (Hashtbl.find_opt per_c c) in
+                     Hashtbl.replace per_c c (prev +. f)
+                   end));
+           (* Deterministic per-c order. *)
+           Hashtbl.fold (fun c f l -> (c, f) :: l) per_c []
+           |> List.sort compare
+           |> List.iter (fun (_, f) -> add acc f)
+         done
+   with Done -> ());
+  finish acc
+
+let gb ?limit ?time_budget_ms net = function
+  | Rigid r -> gb_rigid ?limit ?time_budget_ms net r
+  | Relaxed r -> gb_relaxed ?limit ?time_budget_ms net r
+
+(* ------------------------------------------------------------------ *)
+(* Precomputation-based search                                         *)
+(* ------------------------------------------------------------------ *)
+
+let require_chains tables =
+  match tables.c2 with
+  | Some t -> t
+  | None -> invalid_arg "Catalog.pb: pattern needs the 2-hop chain table (precompute ~with_chains:true)"
+
+let edge_exn net ~src ~dst =
+  match Static.find_edge net ~src ~dst with
+  | Some e -> e
+  | None -> assert false (* table rows are real paths *)
+
+let pb ?(limit = max_int) ?time_budget_ms net tables pattern =
+  let acc = fresh_acc ?time_budget_ms limit in
+  let stop = stopper acc in
+  let poll () = if stop () then raise Done in
+  (try
+     match pattern with
+     | Rigid P1 ->
+         Array.iter (fun r -> add acc r.Tables.flow) (Tables.rows (require_chains tables))
+     | Rigid P2 -> Array.iter (fun r -> add acc r.Tables.flow) (Tables.rows tables.l2)
+     | Rigid P3 -> Array.iter (fun r -> add acc r.Tables.flow) (Tables.rows tables.l3)
+     | Rigid P4 ->
+         (* 3-hop cycle + chord b→a: the precomputed flow is unusable
+            (the cycle is not isolated in the instance); the instance
+            is rebuilt and solved by the Section-4 pipeline. *)
+         Array.iter
+           (fun r ->
+             poll ();
+             let a = r.Tables.verts.(0) and b = r.Tables.verts.(1) and c = r.Tables.verts.(2) in
+             match Static.find_edge net ~src:b ~dst:a with
+             | Some e_ba ->
+                 let eids =
+                   [
+                     edge_exn net ~src:a ~dst:b;
+                     edge_exn net ~src:b ~dst:c;
+                     edge_exn net ~src:c ~dst:a;
+                     e_ba;
+                   ]
+                 in
+                 add acc (cyclic_instance_flow net eids ~anchor:a)
+             | None -> ())
+           (Tables.rows tables.l3)
+     | Rigid P5 ->
+         (* Merge-join of L2 and L3 on the anchor vertex; flows add up
+            because the two cycles are vertex-disjoint chains after the
+            split (Lemma 2 applies to the joint instance). *)
+         List.iter
+           (fun a ->
+             Tables.iter_start tables.l2 a (fun r2 ->
+                 let b = r2.Tables.verts.(1) in
+                 Tables.iter_start tables.l3 a (fun r3 ->
+                     poll ();
+                     let c = r3.Tables.verts.(1) and e = r3.Tables.verts.(2) in
+                     if b <> c && b <> e then add acc (r2.Tables.flow +. r3.Tables.flow))))
+           (Tables.starts tables.l2)
+     | Rigid P6 ->
+         Array.iter
+           (fun r ->
+             poll ();
+             let a = r.Tables.verts.(0) and b = r.Tables.verts.(1) and c = r.Tables.verts.(2) in
+             match (Static.find_edge net ~src:a ~dst:c, Static.find_edge net ~src:b ~dst:a) with
+             | Some e_ac, Some e_ba ->
+                 let eids =
+                   [
+                     edge_exn net ~src:a ~dst:b;
+                     edge_exn net ~src:b ~dst:c;
+                     edge_exn net ~src:c ~dst:a;
+                     e_ac;
+                     e_ba;
+                   ]
+                 in
+                 add acc (cyclic_instance_flow net eids ~anchor:a)
+             | _ -> ())
+           (Tables.rows tables.l3)
+     | Relaxed RP1 ->
+         let c2 = require_chains tables in
+         List.iter
+           (fun a ->
+             let per_c = Hashtbl.create 16 in
+             Tables.iter_start c2 a (fun r ->
+                 let c = r.Tables.verts.(2) in
+                 let prev = Option.value ~default:0.0 (Hashtbl.find_opt per_c c) in
+                 Hashtbl.replace per_c c (prev +. r.Tables.flow));
+             Hashtbl.fold (fun c f l -> (c, f) :: l) per_c []
+             |> List.sort compare
+             |> List.iter (fun (_, f) -> add acc f))
+           (Tables.starts c2)
+     | Relaxed RP2 ->
+         List.iter
+           (fun a ->
+             let flow = ref 0.0 in
+             Tables.iter_start tables.l2 a (fun r -> flow := !flow +. r.Tables.flow);
+             add acc !flow)
+           (Tables.starts tables.l2)
+     | Relaxed RP3 ->
+         List.iter
+           (fun a ->
+             let flow = ref 0.0 in
+             Tables.iter_start tables.l3 a (fun r -> flow := !flow +. r.Tables.flow);
+             add acc !flow)
+           (Tables.starts tables.l3)
+   with Done -> ());
+  finish acc

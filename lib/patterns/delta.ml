@@ -1,0 +1,152 @@
+type t = { net : Static.t; tables : Catalog.tables; rows_recomputed : int }
+
+let create ?with_chains net =
+  { net; tables = Catalog.precompute ?with_chains net; rows_recomputed = 0 }
+
+module PairSet = Set.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+(* Rebuild the grown Static and translate a vertex of the old compact
+   space into the new one (label spaces are shared; compact ids are
+   not, because interning order may shift). *)
+let grow old_net additions =
+  let old_edges =
+    List.init (Static.n_edges old_net) (fun e ->
+        ( Static.label old_net (Static.edge_src old_net e),
+          Static.label old_net (Static.edge_dst old_net e),
+          Array.to_list (Static.interactions old_net e) ))
+  in
+  let net = Static.of_list (old_edges @ additions) in
+  let translate v_old =
+    match Static.vertex_of_label net (Static.label old_net v_old) with
+    | Some v -> v
+    | None -> assert false (* old edges are all preserved *)
+  in
+  (net, translate)
+
+let edge_exists net u v = Static.find_edge net ~src:u ~dst:v <> None
+
+(* New-space rebuild of one row.  The vertex list alone is ambiguous
+   (a chain (a,b,c) may coexist with the cycle (a,b,c)), so the table
+   kind decides the edge list. *)
+let rebuild_row ~kind net verts =
+  let e a b = Option.get (Static.find_edge net ~src:a ~dst:b) in
+  let eids =
+    match (kind, Array.to_list verts) with
+    | `Cycle2, [ a; b ] -> [ e a b; e b a ]
+    | `Cycle3, [ a; b; c ] -> [ e a b; e b c; e c a ]
+    | `Chain2, [ a; b; c ] -> [ e a b; e b c ]
+    | _ -> assert false
+  in
+  Tables.path_row net verts eids
+
+(* Update one table.  [touched] is the set of directed new-space
+   pairs with modified interaction sequences; [uses_touched] decides
+   row staleness; [discover] enumerates candidate new rows per touched
+   pair. *)
+let update_table ~kind ~net ~translate ~touched ~uses_touched ~discover table =
+  let rebuilt = Hashtbl.create 64 in
+  let count = ref 0 in
+  let keep = ref [] in
+  Array.iter
+    (fun r ->
+      let verts = Array.map translate r.Tables.verts in
+      if uses_touched verts then () (* stale: rebuilt below if still valid *)
+      else keep := { r with Tables.verts } :: !keep)
+    (Tables.rows table);
+  (* Candidates: stale old rows plus brand-new rows through touched
+     pairs. *)
+  let candidates = Hashtbl.create 64 in
+  Array.iter
+    (fun r ->
+      let verts = Array.map translate r.Tables.verts in
+      if uses_touched verts then Hashtbl.replace candidates (Array.to_list verts) verts)
+    (Tables.rows table);
+  PairSet.iter
+    (fun (u, v) ->
+      List.iter
+        (fun verts -> Hashtbl.replace candidates (Array.to_list verts) verts)
+        (discover u v))
+    touched;
+  Hashtbl.iter
+    (fun key verts ->
+      if not (Hashtbl.mem rebuilt key) then begin
+        Hashtbl.add rebuilt key ();
+        incr count;
+        keep := rebuild_row ~kind net verts :: !keep
+      end)
+    candidates;
+  (Tables.of_rows ~n_vertices:(Static.n_vertices net) !keep, !count)
+
+let apply t ~additions =
+  List.iter
+    (fun (s, d, _) -> if s = d then invalid_arg "Delta.apply: self-loop addition")
+    additions;
+  let net, translate = grow t.net additions in
+  let touched =
+    List.fold_left
+      (fun acc (s, d, _) ->
+        match (Static.vertex_of_label net s, Static.vertex_of_label net d) with
+        | Some u, Some v -> PairSet.add (u, v) acc
+        | _ -> acc)
+      PairSet.empty additions
+  in
+  let tch u v = PairSet.mem (u, v) touched in
+  (* cycles2: row (a,b) uses edges (a,b) and (b,a). *)
+  let uses2 verts = tch verts.(0) verts.(1) || tch verts.(1) verts.(0) in
+  let discover2 u v =
+    if edge_exists net u v && edge_exists net v u then [ [| u; v |]; [| v; u |] ] else []
+  in
+  let l2, c2count =
+    update_table ~kind:`Cycle2 ~net ~translate ~touched ~uses_touched:uses2
+      ~discover:discover2 t.tables.Catalog.l2
+  in
+  (* cycles3: row (a,b,c) uses (a,b), (b,c), (c,a). *)
+  let uses3 verts =
+    tch verts.(0) verts.(1) || tch verts.(1) verts.(2) || tch verts.(2) verts.(0)
+  in
+  let discover3 u v =
+    (* All 3-cycles containing directed edge (u,v), each in all three
+       anchored rotations. *)
+    if not (edge_exists net u v) then []
+    else begin
+      let out = ref [] in
+      Static.iter_succs net v (fun w _ ->
+          if w <> u && w <> v && edge_exists net w u then
+            out := [| u; v; w |] :: [| v; w; u |] :: [| w; u; v |] :: !out);
+      !out
+    end
+  in
+  let l3, c3count =
+    update_table ~kind:`Cycle3 ~net ~translate ~touched ~uses_touched:uses3
+      ~discover:discover3 t.tables.Catalog.l3
+  in
+  (* chains2: row (a,b,c) uses (a,b) and (b,c). *)
+  let uses_chain verts = tch verts.(0) verts.(1) || tch verts.(1) verts.(2) in
+  let discover_chain u v =
+    if not (edge_exists net u v) then []
+    else begin
+      let out = ref [] in
+      Static.iter_succs net v (fun w _ -> if w <> u && w <> v then out := [| u; v; w |] :: !out);
+      Static.iter_preds net u (fun w _ -> if w <> u && w <> v then out := [| w; u; v |] :: !out);
+      !out
+    end
+  in
+  let c2, chain_count =
+    match t.tables.Catalog.c2 with
+    | None -> (None, 0)
+    | Some table ->
+        let table, count =
+          update_table ~kind:`Chain2 ~net ~translate ~touched ~uses_touched:uses_chain
+            ~discover:discover_chain table
+        in
+        (Some table, count)
+  in
+  {
+    net;
+    tables = { Catalog.l2; l3; c2 };
+    rows_recomputed = t.rows_recomputed + c2count + c3count + chain_count;
+  }

@@ -1,0 +1,89 @@
+module Simplify = Tin_core.Simplify
+
+type row = { verts : Static.vertex array; arrivals : Interaction.t list; flow : float }
+
+type t = { rows : row array; offsets : int array (* per vertex, length n+1 *) }
+
+let rows t = t.rows
+let n_rows t = Array.length t.rows
+
+let for_start t v = Array.sub t.rows t.offsets.(v) (t.offsets.(v + 1) - t.offsets.(v))
+
+let iter_start t v f =
+  for k = t.offsets.(v) to t.offsets.(v + 1) - 1 do
+    f t.rows.(k)
+  done
+
+let starts t =
+  let acc = ref [] in
+  for v = Array.length t.offsets - 2 downto 0 do
+    if t.offsets.(v + 1) > t.offsets.(v) then acc := v :: !acc
+  done;
+  !acc
+
+let of_rows ~n_vertices rows =
+  let rows = Array.of_list rows in
+  Array.sort (fun a b -> compare a.verts b.verts) rows;
+  let offsets = Array.make (n_vertices + 1) 0 in
+  Array.iter (fun r -> offsets.(r.verts.(0) + 1) <- offsets.(r.verts.(0) + 1) + 1) rows;
+  for v = 0 to n_vertices - 1 do
+    offsets.(v + 1) <- offsets.(v + 1) + offsets.(v)
+  done;
+  { rows; offsets }
+
+let build n_vertices collected =
+  (* [collected] arrives in ascending start order already (we scan
+     vertices in order); offsets are a counting pass. *)
+  let rows = Array.of_list (List.rev collected) in
+  let offsets = Array.make (n_vertices + 1) 0 in
+  Array.iter (fun r -> offsets.(r.verts.(0) + 1) <- offsets.(r.verts.(0) + 1) + 1) rows;
+  for v = 0 to n_vertices - 1 do
+    offsets.(v + 1) <- offsets.(v + 1) + offsets.(v)
+  done;
+  { rows; offsets }
+
+let path_row net verts eids =
+  (* Chain the edges and run the greedy scan via the shared Lemma-3
+     reduction helper; the chain is positional, so vertex identity
+     (including a = final vertex for cycles) is irrelevant here. *)
+  let edges =
+    List.map (fun e -> (Static.edge_dst net e, Array.to_list (Static.interactions net e))) eids
+  in
+  let arrivals = Simplify.reduce_chain_interactions edges in
+  { verts; arrivals; flow = Interaction.total_qty arrivals }
+
+let cycles2 net =
+  let acc = ref [] in
+  for a = 0 to Static.n_vertices net - 1 do
+    Static.iter_succs net a (fun b e_ab ->
+        match Static.find_edge net ~src:b ~dst:a with
+        | Some e_ba -> acc := path_row net [| a; b |] [ e_ab; e_ba ] :: !acc
+        | None -> ())
+  done;
+  build (Static.n_vertices net) !acc
+
+let cycles3 net =
+  let acc = ref [] in
+  for a = 0 to Static.n_vertices net - 1 do
+    Static.iter_succs net a (fun b e_ab ->
+        if b <> a then
+          Static.iter_succs net b (fun c e_bc ->
+              if c <> a && c <> b then
+                match Static.find_edge net ~src:c ~dst:a with
+                | Some e_ca -> acc := path_row net [| a; b; c |] [ e_ab; e_bc; e_ca ] :: !acc
+                | None -> ()))
+  done;
+  build (Static.n_vertices net) !acc
+
+let chains2 net =
+  let acc = ref [] in
+  for a = 0 to Static.n_vertices net - 1 do
+    Static.iter_succs net a (fun b e_ab ->
+        Static.iter_succs net b (fun c e_bc ->
+            if c <> a && c <> b then
+              acc := path_row net [| a; b; c |] [ e_ab; e_bc ] :: !acc))
+  done;
+  build (Static.n_vertices net) !acc
+
+let memory_rows t =
+  Array.fold_left (fun acc r -> acc + List.length r.arrivals) 0 t.rows

@@ -1,0 +1,60 @@
+(** Precomputed path tables (Section 5.2).
+
+    The preprocessing-based (PB) pattern-search approach materialises
+    small path shapes once, together with the interaction sequence that
+    the greedy scan delivers into the path's final vertex — which, by
+    Lemma 3, fully determines the path's flow contribution at any time
+    and can be composed by further greedy runs.
+
+    Three tables mirror the paper's setup: 2-hop cycles [a→b→a] and
+    3-hop cycles [a→b→c→a] for every dataset, and 2-hop chains
+    [a→b→c] where precomputation cost allows (the paper built chains
+    only for Prosper Loans).  Rows are sorted by start vertex, with an
+    offset index for merge-joins. *)
+
+type row = {
+  verts : Static.vertex array;
+      (** The path vertices, starting vertex first.  For cycles the
+          final return to the start is implicit. *)
+  arrivals : Interaction.t list;
+      (** Greedy arrival sequence at the path's end (at the start
+          vertex's sink half, for cycles). *)
+  flow : float;  (** Total of [arrivals] — the path's flow. *)
+}
+
+type t
+
+val rows : t -> row array
+(** All rows, sorted by start vertex (then lexicographically). *)
+
+val n_rows : t -> int
+
+val for_start : t -> Static.vertex -> row array
+(** Rows whose path starts at the given vertex (shared subarray copy). *)
+
+val iter_start : t -> Static.vertex -> (row -> unit) -> unit
+
+val starts : t -> Static.vertex list
+(** Distinct start vertices, ascending. *)
+
+val cycles2 : Static.t -> t
+(** All 2-hop cycles [a→b→a]; row vertices are [[|a; b|]]. *)
+
+val cycles3 : Static.t -> t
+(** All 3-hop cycles [a→b→c→a] with [b ≠ c]; rows [[|a; b; c|]]. *)
+
+val chains2 : Static.t -> t
+(** All 2-hop chains [a→b→c] over distinct vertices; rows
+    [[|a; b; c|]]. *)
+
+val memory_rows : t -> int
+(** Total interactions stored (precomputation footprint measure). *)
+
+val of_rows : n_vertices:int -> row list -> t
+(** Table from an explicit row list (sorted internally); used by the
+    {!Delta} maintenance pass.  Rows must reference vertices below
+    [n_vertices]. *)
+
+val path_row : Static.t -> Static.vertex array -> Static.edge_id list -> row
+(** Builds one row: runs the greedy reduction over the given edge
+    chain.  Exposed for {!Delta}. *)

@@ -1,0 +1,12 @@
+let default_eps = 1e-6
+
+let scale a b = Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+
+let approx_eq ?(eps = default_eps) a b =
+  if a = b then true (* covers infinities *)
+  else Float.abs (a -. b) <= eps *. scale a b
+
+let approx_le ?(eps = default_eps) a b = a <= b || approx_eq ~eps a b
+let approx_ge ?(eps = default_eps) a b = a >= b || approx_eq ~eps a b
+let is_zero ?(eps = default_eps) x = approx_eq ~eps x 0.0
+let clamp ~lo ~hi x = if x < lo then lo else if x > hi then hi else x

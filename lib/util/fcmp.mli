@@ -1,0 +1,21 @@
+(** Tolerant floating-point comparison.
+
+    Flow quantities go through simplex pivots, so exact equality is not
+    meaningful.  All flow-level comparisons in the library go through
+    this module with a shared default tolerance. *)
+
+val default_eps : float
+(** Default absolute/relative tolerance ([1e-6]). *)
+
+val approx_eq : ?eps:float -> float -> float -> bool
+(** [approx_eq a b] holds when [|a - b| <= eps * max 1 (|a|, |b|)]. *)
+
+val approx_le : ?eps:float -> float -> float -> bool
+(** [approx_le a b] holds when [a <= b] up to tolerance. *)
+
+val approx_ge : ?eps:float -> float -> float -> bool
+
+val is_zero : ?eps:float -> float -> bool
+
+val clamp : lo:float -> hi:float -> float -> float
+(** Clamp into [\[lo, hi\]]. *)

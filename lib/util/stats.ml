@@ -1,0 +1,78 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  total : float;
+}
+
+module Acc = struct
+  (* Welford's online mean/variance: numerically stable for long
+     streams of timings that span several orders of magnitude. *)
+  type t = {
+    mutable n : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable total : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create () =
+    { n = 0; mean = 0.0; m2 = 0.0; total = 0.0; min = infinity; max = neg_infinity }
+
+  let add t x =
+    t.n <- t.n + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    t.total <- t.total +. x;
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x
+
+  let count t = t.n
+  let mean t = if t.n = 0 then 0.0 else t.mean
+
+  let stddev t =
+    if t.n < 2 then 0.0 else sqrt (t.m2 /. float_of_int (t.n - 1))
+
+  let total t = t.total
+  let min t = if t.n = 0 then 0.0 else t.min
+  let max t = if t.n = 0 then 0.0 else t.max
+
+  let summary t =
+    {
+      count = t.n;
+      mean = mean t;
+      stddev = stddev t;
+      min = min t;
+      max = max t;
+      total = t.total;
+    }
+end
+
+let summarize xs =
+  let acc = Acc.create () in
+  List.iter (Acc.add acc) xs;
+  Acc.summary acc
+
+let mean xs =
+  match xs with [] -> 0.0 | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let percentile p xs =
+  if xs = [] then invalid_arg "Stats.percentile: empty sample";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 1 then a.(0)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = Stdlib.min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+  end
+
+let median xs = percentile 50.0 xs

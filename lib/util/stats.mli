@@ -1,0 +1,42 @@
+(** Small online/offline statistics used by the experiment harness. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  total : float;
+}
+(** Five-number summary of a sample. *)
+
+val summarize : float list -> summary
+(** [summarize xs] computes the summary of [xs].  An empty list yields a
+    zero summary (count 0, NaN-free). *)
+
+val mean : float list -> float
+(** Arithmetic mean; [0.] on the empty list. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] is the [p]-th percentile ([0. <= p <= 100.]) using
+    linear interpolation between closest ranks.  @raise Invalid_argument
+    on an empty list or out-of-range [p]. *)
+
+val median : float list -> float
+(** Shorthand for [percentile 50.]. *)
+
+(** Incremental accumulator (Welford's algorithm) for streaming
+    measurements without retaining the sample. *)
+module Acc : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val stddev : t -> float
+  val total : t -> float
+  val min : t -> float
+  val max : t -> float
+  val summary : t -> summary
+end

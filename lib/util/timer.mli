@@ -1,0 +1,21 @@
+(** Wall-clock measurement helpers for the benchmark harness. *)
+
+val now_ns : unit -> int64
+(** Monotonic-ish wall clock in nanoseconds (based on
+    [Unix]-free [Sys.time] is too coarse; we use [Stdlib] gettimeofday via
+    [Unix] when available — here implemented with [Sys.time] fallback and
+    [Stdlib] clock).  Precision is sufficient for the millisecond-scale
+    measurements reported by the paper. *)
+
+val time_f : (unit -> 'a) -> 'a * float
+(** [time_f f] runs [f ()] and returns its result together with the
+    elapsed wall time in seconds. *)
+
+val time_ms : (unit -> 'a) -> 'a * float
+(** Like {!time_f} but in milliseconds. *)
+
+val repeat_ms : ?min_runs:int -> ?min_time_ms:float -> (unit -> 'a) -> float
+(** [repeat_ms f] runs [f] repeatedly until at least [min_runs] runs
+    (default 3) and [min_time_ms] total milliseconds (default 10) have
+    elapsed, and returns the mean per-run time in milliseconds.  Keeps
+    micro-measurements out of clock-granularity noise. *)

@@ -1,0 +1,12 @@
+/* Monotonic clock stub: CLOCK_MONOTONIC in nanoseconds, without
+   depending on the Unix library. */
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value caml_tin_clock_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + ts.tv_nsec);
+}

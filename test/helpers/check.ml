@@ -1,0 +1,24 @@
+(* Shared alcotest/qcheck plumbing. *)
+
+let approx ?(eps = 1e-6) () =
+  Alcotest.testable
+    (fun ppf f -> Format.fprintf ppf "%.9g" f)
+    (fun a b -> Tin_util.Fcmp.approx_eq ~eps a b)
+
+let flow = approx ()
+
+let check_flow msg expected actual = Alcotest.check flow msg expected actual
+
+let graph =
+  Alcotest.testable (fun ppf g -> Graph.pp ppf g) Graph.equal
+
+let interactions =
+  Alcotest.testable
+    (fun ppf is -> Interaction.pp_list ppf is)
+    (List.equal Interaction.equal)
+
+(* qcheck property over a PRNG seed, registered as an alcotest case. *)
+let seeded_property ?(count = 200) name prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name ~count QCheck.(small_int) (fun seed ->
+         prop (Tin_util.Prng.create ~seed)))

@@ -1,0 +1,137 @@
+(* The worked examples of the paper, reconstructed from its figures and
+   traces.  Vertex naming below follows the figures. *)
+
+let v name =
+  match name with
+  | "s" -> 0
+  | "x" -> 1
+  | "y" -> 2
+  | "z" -> 3
+  | "w" -> 4
+  | "t" -> 5
+  | "u" -> 6
+  | _ -> invalid_arg ("Paper_examples.v: " ^ name)
+
+let s = v "s"
+let x = v "x"
+let y = v "y"
+let z = v "z"
+let w = v "w"
+let t = v "t"
+let u = v "u"
+
+(* Figure 1(a): the toy transaction network of the introduction.
+   Greedy flow 2, maximum flow 5. *)
+let fig1a =
+  Graph.of_edges
+    [
+      (s, x, [ (1.0, 3.0); (7.0, 5.0) ]);
+      (x, z, [ (5.0, 5.0) ]);
+      (s, y, [ (2.0, 6.0) ]);
+      (y, z, [ (8.0, 5.0) ]);
+      (y, t, [ (9.0, 4.0) ]);
+      (z, t, [ (2.0, 3.0); (10.0, 1.0) ]);
+    ]
+
+(* Figure 3 / Tables 2-3: greedy flow 1, maximum flow 5. *)
+let fig3 =
+  Graph.of_edges
+    [
+      (s, y, [ (1.0, 5.0) ]);
+      (s, z, [ (2.0, 3.0) ]);
+      (y, z, [ (3.0, 5.0) ]);
+      (y, t, [ (4.0, 4.0) ]);
+      (z, t, [ (5.0, 1.0) ]);
+    ]
+
+(* Figure 5(a): a chain; its simplification collapses it to a single
+   edge (s,t) carrying {(6,3), (8,4)}; flow 7. *)
+let fig5a =
+  Graph.of_edges
+    [
+      (s, x, [ (1.0, 5.0); (4.0, 3.0); (5.0, 2.0) ]);
+      (x, y, [ (3.0, 3.0); (7.0, 4.0) ]);
+      (y, t, [ (6.0, 3.0); (8.0, 6.0) ]);
+    ]
+
+let fig5a_reduced_edge = Interaction.of_pairs [ (6.0, 3.0); (8.0, 4.0) ]
+
+(* Figure 6, DAG G1: interaction-level preprocessing only. *)
+let fig6_g1 =
+  Graph.of_edges
+    [
+      (s, x, [ (5.0, 3.0); (8.0, 3.0) ]);
+      (s, y, [ (9.0, 7.0) ]);
+      (s, z, [ (10.0, 5.0) ]);
+      (x, y, [ (2.0, 7.0); (12.0, 4.0) ]);
+      (x, z, [ (1.0, 2.0); (13.0, 1.0) ]);
+      (y, t, [ (3.0, 3.0); (15.0, 2.0) ]);
+      (z, t, [ (4.0, 2.0); (11.0, 4.0) ]);
+    ]
+
+let fig6_g1_expected =
+  Graph.of_edges
+    [
+      (s, x, [ (5.0, 3.0); (8.0, 3.0) ]);
+      (s, y, [ (9.0, 7.0) ]);
+      (s, z, [ (10.0, 5.0) ]);
+      (x, y, [ (12.0, 4.0) ]);
+      (x, z, [ (13.0, 1.0) ]);
+      (y, t, [ (15.0, 2.0) ]);
+      (z, t, [ (11.0, 4.0) ]);
+    ]
+
+(* Figure 6, DAG G2: vertex/edge cascade. *)
+let fig6_g2 =
+  Graph.of_edges
+    [
+      (s, x, [ (5.0, 3.0); (8.0, 3.0) ]);
+      (s, z, [ (10.0, 5.0) ]);
+      (s, t, [ (9.0, 7.0) ]);
+      (x, y, [ (3.0, 4.0) ]);
+      (y, t, [ (2.0, 7.0); (12.0, 4.0) ]);
+      (y, z, [ (1.0, 2.0); (13.0, 1.0) ]);
+      (z, t, [ (4.0, 2.0); (11.0, 4.0) ]);
+    ]
+
+let fig6_g2_expected =
+  Graph.of_edges
+    [ (s, z, [ (10.0, 5.0) ]); (s, t, [ (9.0, 7.0) ]); (z, t, [ (11.0, 4.0) ]) ]
+
+(* Figure 7: iterated chain simplification with edge merging.  The LP
+   of the initial graph has 9 variables; the simplified one has 3. *)
+let fig7 =
+  Graph.of_edges
+    [
+      (s, y, [ (1.0, 2.0); (4.0, 3.0); (5.0, 2.0) ]);
+      (y, z, [ (3.0, 3.0); (7.0, 1.0) ]);
+      (s, x, [ (9.0, 2.0); (12.0, 5.0) ]);
+      (x, w, [ (10.0, 3.0); (14.0, 4.0) ]);
+      (s, z, [ (2.0, 5.0); (11.0, 2.0) ]);
+      (z, w, [ (6.0, 3.0); (8.0, 6.0) ]);
+      (w, t, [ (15.0, 7.0) ]);
+      (w, u, [ (13.0, 5.0) ]);
+      (u, t, [ (16.0, 6.0) ]);
+    ]
+
+let fig7_expected =
+  Graph.of_edges
+    [
+      (s, w, [ (6.0, 3.0); (8.0, 5.0); (10.0, 2.0); (14.0, 4.0) ]);
+      (w, t, [ (15.0, 7.0) ]);
+      (w, u, [ (13.0, 5.0) ]);
+      (u, t, [ (16.0, 6.0) ]);
+    ]
+
+(* Figure 2(a): the small transaction network used for the pattern
+   examples (u1..u4 mapped to 1..4). *)
+let fig2a =
+  Graph.of_edges
+    [
+      (1, 2, [ (2.0, 5.0); (4.0, 3.0); (8.0, 1.0) ]);
+      (2, 3, [ (3.0, 4.0); (5.0, 2.0) ]);
+      (3, 1, [ (1.0, 2.0); (6.0, 5.0) ]);
+      (4, 1, [ (7.0, 6.0) ]);
+      (1, 4, [ (9.0, 4.0) ]);
+      (3, 4, [ (10.0, 1.0) ]);
+    ]

@@ -1,0 +1,115 @@
+(* End-to-end integration tests of the tinflow CLI binary: generate a
+   network, then exercise every subcommand against it and check exit
+   codes and key output fragments.  The binary is a declared dune
+   dependency, reachable relatively from the test's working
+   directory. *)
+
+let exe =
+  (* Under `dune runtest` the cwd is _build/default/test; under
+     `dune exec` it is the project root. *)
+  List.find_opt Sys.file_exists
+    [ "../bin/tinflow.exe"; "_build/default/bin/tinflow.exe"; "bin/tinflow.exe" ]
+  |> Option.value ~default:"../bin/tinflow.exe"
+
+let run_capture args =
+  let out = Filename.temp_file "tinflow_out" ".txt" in
+  let cmd = Printf.sprintf "%s %s > %s 2>&1" (Filename.quote exe) args (Filename.quote out) in
+  let code = Sys.command cmd in
+  let content = In_channel.with_open_text out In_channel.input_all in
+  Sys.remove out;
+  (code, content)
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let check_ok msg (code, content) =
+  if code <> 0 then Alcotest.failf "%s: exit %d, output:\n%s" msg code content;
+  content
+
+let csv = Filename.temp_file "tinflow_net" ".csv"
+
+let test_generate () =
+  let out =
+    check_ok "generate" (run_capture (Printf.sprintf "generate %s --shape prosper --factor 0.04 --seed 9" csv))
+  in
+  Alcotest.(check bool) "reports stats" true (contains out "wrote");
+  Alcotest.(check bool) "file exists" true (Sys.file_exists csv)
+
+let test_flow_explicit_endpoints () =
+  let out = check_ok "flow" (run_capture (Printf.sprintf "flow %s -s 0 -t 1" csv)) in
+  Alcotest.(check bool) "greedy line" true (contains out "greedy flow");
+  Alcotest.(check bool) "maximum line" true (contains out "maximum flow");
+  Alcotest.(check bool) "difficulty line" true (contains out "Class")
+
+let test_flow_synthetic_endpoints_hint () =
+  (* The dense synthetic network puts every vertex on a cycle, so the
+     default synthetic endpoints cannot apply; the CLI must explain
+     rather than crash. *)
+  let code, out = run_capture (Printf.sprintf "flow %s" csv) in
+  if code = 0 then Alcotest.(check bool) "computed" true (contains out "maximum flow")
+  else Alcotest.(check bool) "hint shown" true (contains out "hint:")
+
+let test_flow_split_and_method () =
+  let out = check_ok "flow split" (run_capture (Printf.sprintf "flow %s --split 0 -m timeexp" csv)) in
+  Alcotest.(check bool) "method output" true (contains out "TimeExp flow")
+
+let test_paths () =
+  let out = check_ok "paths" (run_capture (Printf.sprintf "paths %s -s 0 -t 1 --top 3" csv)) in
+  Alcotest.(check bool) "route summary" true (contains out "temporal routes")
+
+let test_profile () =
+  let out = check_ok "profile" (run_capture (Printf.sprintf "profile %s -s 0 -t 1 --greedy" csv)) in
+  Alcotest.(check bool) "csv header" true (contains out "time,cumulative_flow")
+
+let test_patterns_builtin_and_custom () =
+  let out =
+    check_ok "patterns"
+      (run_capture (Printf.sprintf "patterns %s -p p2 --custom \"a->b, b->a'\" --limit 500" csv))
+  in
+  Alcotest.(check bool) "table rendered" true (contains out "Pattern instances");
+  Alcotest.(check bool) "builtin row" true (contains out "P2");
+  Alcotest.(check bool) "custom row" true (contains out "a->b, b->a'")
+
+let test_patterns_precompute () =
+  let out =
+    check_ok "patterns pb" (run_capture (Printf.sprintf "patterns %s -p rp2 --precompute" csv))
+  in
+  Alcotest.(check bool) "PB mode" true (contains out "(PB)")
+
+let test_dot () =
+  let out = check_ok "dot" (run_capture (Printf.sprintf "dot %s" csv)) in
+  Alcotest.(check bool) "digraph" true (contains out "digraph")
+
+let test_bad_usage () =
+  let code, _ = run_capture "flow /nonexistent.csv" in
+  Alcotest.(check bool) "nonzero exit" true (code <> 0);
+  let code, _ = run_capture "nonsense-subcommand" in
+  Alcotest.(check bool) "unknown subcommand" true (code <> 0)
+
+let () =
+  if not (Sys.file_exists exe) then begin
+    print_endline "tinflow binary not found; skipping CLI integration tests";
+    exit 0
+  end;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists csv then Sys.remove csv)
+    (fun () ->
+      Alcotest.run "cli"
+        [
+          ( "tinflow",
+            [
+              Alcotest.test_case "generate" `Quick test_generate;
+              Alcotest.test_case "flow (explicit endpoints)" `Quick test_flow_explicit_endpoints;
+              Alcotest.test_case "flow (synthetic endpoints hint)" `Quick
+                test_flow_synthetic_endpoints_hint;
+              Alcotest.test_case "flow (split, method)" `Quick test_flow_split_and_method;
+              Alcotest.test_case "paths" `Quick test_paths;
+              Alcotest.test_case "profile" `Quick test_profile;
+              Alcotest.test_case "patterns builtin+custom" `Quick test_patterns_builtin_and_custom;
+              Alcotest.test_case "patterns precompute" `Quick test_patterns_precompute;
+              Alcotest.test_case "dot export" `Quick test_dot;
+              Alcotest.test_case "bad usage" `Quick test_bad_usage;
+            ] );
+        ])

@@ -1,0 +1,126 @@
+(* Greedy flow computation (Section 4.1): paper traces and edge
+   cases. *)
+
+open Tin_testlib
+module Greedy = Tin_core.Greedy
+module P = Paper_examples
+
+let test_fig3_flow () =
+  Check.check_flow "greedy flow of Figure 3" 1.0 (Greedy.flow P.fig3 ~source:P.s ~sink:P.t)
+
+let test_fig3_trace () =
+  (* Table 2, transfer by transfer. *)
+  let _, trace = Greedy.flow_trace P.fig3 ~source:P.s ~sink:P.t in
+  let moved = List.map (fun tr -> (tr.Greedy.src, tr.Greedy.dst, tr.Greedy.moved)) trace in
+  Alcotest.(check (list (triple int int (float 1e-9))))
+    "transfers match Table 2"
+    [
+      (P.s, P.y, 5.0); (P.s, P.z, 3.0); (P.y, P.z, 5.0); (P.y, P.t, 0.0); (P.z, P.t, 1.0);
+    ]
+    moved
+
+let test_fig1a_flow () =
+  Check.check_flow "greedy flow of Figure 1(a)" 2.0 (Greedy.flow P.fig1a ~source:P.s ~sink:P.t)
+
+let test_fig5a_flow () =
+  Check.check_flow "greedy flow of the Figure 5(a) chain" 7.0
+    (Greedy.flow P.fig5a ~source:P.s ~sink:P.t)
+
+let test_fig5a_arrivals () =
+  Alcotest.check Check.interactions "arrivals at t match the reduced edge of Figure 5"
+    P.fig5a_reduced_edge
+    (Greedy.arrivals_at_sink P.fig5a ~source:P.s ~sink:P.t)
+
+let test_empty_graph () =
+  let g = Graph.add_vertex (Graph.add_vertex Graph.empty 0) 1 in
+  Check.check_flow "no interactions, no flow" 0.0 (Greedy.flow g ~source:0 ~sink:1)
+
+let test_single_edge () =
+  let g = Graph.of_edges [ (0, 1, [ (1.0, 5.0); (2.0, 3.0) ]) ] in
+  Check.check_flow "source edge delivers everything" 8.0 (Greedy.flow g ~source:0 ~sink:1)
+
+let test_source_infinite_buffer () =
+  (* The source never runs out, even with no incoming interactions. *)
+  let g = Graph.of_edges [ (0, 1, [ (1.0, 100.0) ]); (1, 2, [ (2.0, 100.0) ]) ] in
+  Check.check_flow "quantity traverses" 100.0 (Greedy.flow g ~source:0 ~sink:2)
+
+let test_strict_time_same_timestamp () =
+  (* Arrival at time 2 is not usable by the outgoing interaction at
+     time 2 (constraint 2 of the paper is strict). *)
+  let g = Graph.of_edges [ (0, 1, [ (2.0, 5.0) ]); (1, 2, [ (2.0, 5.0) ]) ] in
+  Check.check_flow "same-instant forwarding is impossible" 0.0 (Greedy.flow g ~source:0 ~sink:2)
+
+let test_strict_time_later_ok () =
+  let g = Graph.of_edges [ (0, 1, [ (2.0, 5.0) ]); (1, 2, [ (2.5, 5.0) ]) ] in
+  Check.check_flow "later forwarding works" 5.0 (Greedy.flow g ~source:0 ~sink:2)
+
+let test_no_double_spend_at_tie () =
+  (* Two outgoing interactions at the same instant compete for the
+     same buffer. *)
+  let g =
+    Graph.of_edges
+      [
+        (0, 1, [ (1.0, 5.0) ]);
+        (1, 2, [ (2.0, 5.0) ]);
+        (1, 3, [ (2.0, 5.0) ]);
+        (2, 4, [ (3.0, 10.0) ]);
+        (3, 4, [ (3.0, 10.0) ]);
+      ]
+  in
+  Check.check_flow "buffer of 5 cannot fan out as 10" 5.0 (Greedy.flow g ~source:0 ~sink:4)
+
+let test_cycle_supported () =
+  (* Greedy runs on cyclic graphs (only the accelerators need DAGs). *)
+  let g =
+    Graph.of_edges
+      [
+        (0, 1, [ (1.0, 4.0) ]);
+        (1, 2, [ (2.0, 4.0) ]);
+        (2, 1, [ (3.0, 4.0) ]);
+        (1, 3, [ (4.0, 4.0) ]);
+      ]
+  in
+  Check.check_flow "flow circles through the 1-2 cycle" 4.0 (Greedy.flow g ~source:0 ~sink:3)
+
+let test_buffers () =
+  let buffers = Greedy.buffers P.fig3 ~source:P.s ~sink:P.t in
+  let lookup v = List.assoc v buffers in
+  Alcotest.(check (float 1e-9)) "source buffer infinite" infinity (lookup P.s);
+  Alcotest.(check (float 1e-9)) "y drained" 0.0 (lookup P.y);
+  Alcotest.(check (float 1e-9)) "z keeps 7" 7.0 (lookup P.z);
+  Alcotest.(check (float 1e-9)) "t holds the flow" 1.0 (lookup P.t)
+
+let test_source_eq_sink_rejected () =
+  Alcotest.check_raises "source = sink" (Invalid_argument "Greedy: source = sink") (fun () ->
+      ignore (Greedy.flow P.fig3 ~source:P.s ~sink:P.s))
+
+let test_unknown_endpoints_zero () =
+  (* Vertices that do not appear in the graph simply never receive
+     anything. *)
+  Check.check_flow "unknown sink" 0.0 (Greedy.flow P.fig3 ~source:P.s ~sink:99)
+
+let () =
+  Alcotest.run "greedy"
+    [
+      ( "paper-examples",
+        [
+          Alcotest.test_case "figure 3 flow" `Quick test_fig3_flow;
+          Alcotest.test_case "figure 3 trace (Table 2)" `Quick test_fig3_trace;
+          Alcotest.test_case "figure 1(a) flow" `Quick test_fig1a_flow;
+          Alcotest.test_case "figure 5(a) chain flow" `Quick test_fig5a_flow;
+          Alcotest.test_case "figure 5(a) sink arrivals" `Quick test_fig5a_arrivals;
+        ] );
+      ( "semantics",
+        [
+          Alcotest.test_case "empty graph" `Quick test_empty_graph;
+          Alcotest.test_case "single edge" `Quick test_single_edge;
+          Alcotest.test_case "infinite source buffer" `Quick test_source_infinite_buffer;
+          Alcotest.test_case "strict time: same timestamp" `Quick test_strict_time_same_timestamp;
+          Alcotest.test_case "strict time: later ok" `Quick test_strict_time_later_ok;
+          Alcotest.test_case "no double spend at ties" `Quick test_no_double_spend_at_tie;
+          Alcotest.test_case "cycles supported" `Quick test_cycle_supported;
+          Alcotest.test_case "final buffers" `Quick test_buffers;
+          Alcotest.test_case "source = sink rejected" `Quick test_source_eq_sink_rejected;
+          Alcotest.test_case "unknown endpoints" `Quick test_unknown_endpoints_zero;
+        ] );
+    ]

@@ -1,0 +1,344 @@
+(* LP substrate: the two-phase simplex and the problem builder. *)
+
+module Simplex = Tin_lp.Simplex
+module Problem = Tin_lp.Problem
+
+let check_opt ~expected_obj ?(expected = []) outcome =
+  match outcome with
+  | Simplex.Optimal { objective; solution } ->
+      Alcotest.(check (float 1e-6)) "objective" expected_obj objective;
+      List.iter
+        (fun (i, v) -> Alcotest.(check (float 1e-6)) (Printf.sprintf "x%d" i) v solution.(i))
+        expected
+  | Simplex.Infeasible -> Alcotest.fail "unexpected: infeasible"
+  | Simplex.Unbounded -> Alcotest.fail "unexpected: unbounded"
+  | Simplex.Iteration_limit -> Alcotest.fail "unexpected: iteration limit"
+
+(* Classic textbook instance: max 3x + 5y s.t. x<=4, 2y<=12, 3x+2y<=18. *)
+let test_simplex_textbook () =
+  check_opt ~expected_obj:36.0
+    ~expected:[ (0, 2.0); (1, 6.0) ]
+    (Simplex.solve ~c:[| 3.0; 5.0 |]
+       ~rows:
+         [
+           ([| 1.0; 0.0 |], Simplex.Le, 4.0);
+           ([| 0.0; 2.0 |], Simplex.Le, 12.0);
+           ([| 3.0; 2.0 |], Simplex.Le, 18.0);
+         ]
+       ())
+
+let test_simplex_equality () =
+  (* max x + y s.t. x + y = 5, x <= 3  -> 5, with x in [0,3]. *)
+  check_opt ~expected_obj:5.0
+    (Simplex.solve ~c:[| 1.0; 1.0 |]
+       ~rows:[ ([| 1.0; 1.0 |], Simplex.Eq, 5.0); ([| 1.0; 0.0 |], Simplex.Le, 3.0) ]
+       ())
+
+let test_simplex_ge () =
+  (* max -x s.t. x >= 2  -> x = 2, obj -2 (phase 1 needed). *)
+  check_opt ~expected_obj:(-2.0)
+    ~expected:[ (0, 2.0) ]
+    (Simplex.solve ~c:[| -1.0 |] ~rows:[ ([| 1.0 |], Simplex.Ge, 2.0) ] ())
+
+let test_simplex_infeasible () =
+  match
+    Simplex.solve ~c:[| 1.0 |]
+      ~rows:[ ([| 1.0 |], Simplex.Le, 1.0); ([| 1.0 |], Simplex.Ge, 2.0) ]
+      ()
+  with
+  | Simplex.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible"
+
+let test_simplex_unbounded () =
+  match Simplex.solve ~c:[| 1.0 |] ~rows:[ ([| -1.0 |], Simplex.Le, 1.0) ] () with
+  | Simplex.Unbounded -> ()
+  | _ -> Alcotest.fail "expected unbounded"
+
+let test_simplex_negative_rhs () =
+  (* -x <= -2  is  x >= 2; max -x -> -2. *)
+  check_opt ~expected_obj:(-2.0)
+    (Simplex.solve ~c:[| -1.0 |] ~rows:[ ([| -1.0 |], Simplex.Le, -2.0) ] ())
+
+let test_simplex_degenerate () =
+  (* Degenerate vertex at origin with redundant constraints; Bland
+     protects against cycling.  Optimum: x = y = 1/2. *)
+  check_opt ~expected_obj:0.5
+    (Simplex.solve
+       ~c:[| 1.0; 0.0 |]
+       ~rows:
+         [
+           ([| 1.0; 1.0 |], Simplex.Le, 1.0);
+           ([| 1.0; -1.0 |], Simplex.Le, 0.0);
+           ([| 1.0; 0.0 |], Simplex.Le, 1.0);
+         ]
+       ())
+
+let test_simplex_zero_objective () =
+  check_opt ~expected_obj:0.0
+    (Simplex.solve ~c:[| 0.0 |] ~rows:[ ([| 1.0 |], Simplex.Le, 3.0) ] ())
+
+let test_simplex_arity_mismatch () =
+  Alcotest.check_raises "row arity" (Invalid_argument "Simplex.solve: row arity mismatch")
+    (fun () ->
+      ignore (Simplex.solve ~c:[| 1.0 |] ~rows:[ ([| 1.0; 2.0 |], Simplex.Le, 1.0) ] ()))
+
+(* Brute-force LP oracle over constraint-boundary intersections in 2D:
+   enumerate all vertices of the feasible polygon (pairwise
+   intersections of tight constraints, plus axes), keep feasible ones,
+   take the best objective.  Compares against the simplex on random
+   2-variable problems. *)
+let brute_force_2d ~c ~rows =
+  let lines =
+    (* each row as a*x + b*y <= r ; plus x >= 0 and y >= 0 *)
+    rows @ [ ([| -1.0; 0.0 |], Simplex.Le, 0.0); ([| 0.0; -1.0 |], Simplex.Le, 0.0) ]
+  in
+  let feasible (x, y) =
+    List.for_all (fun (a, _, r) -> (a.(0) *. x) +. (a.(1) *. y) <= r +. 1e-7) lines
+  in
+  let candidates = ref [] in
+  let n = List.length lines in
+  let arr = Array.of_list lines in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let a1, _, r1 = arr.(i) and a2, _, r2 = arr.(j) in
+      let det = (a1.(0) *. a2.(1)) -. (a1.(1) *. a2.(0)) in
+      if Float.abs det > 1e-9 then begin
+        let x = ((r1 *. a2.(1)) -. (r2 *. a1.(1))) /. det in
+        let y = ((a1.(0) *. r2) -. (a2.(0) *. r1)) /. det in
+        if feasible (x, y) then candidates := (x, y) :: !candidates
+      end
+    done
+  done;
+  match !candidates with
+  | [] -> None
+  | cs ->
+      Some
+        (List.fold_left
+           (fun best (x, y) -> Float.max best ((c.(0) *. x) +. (c.(1) *. y)))
+           neg_infinity cs)
+
+let test_simplex_vs_brute_force () =
+  let rng = Tin_util.Prng.create ~seed:1234 in
+  for _ = 1 to 200 do
+    let c = [| float_of_int (Tin_util.Prng.int rng 10); float_of_int (Tin_util.Prng.int rng 10) |] in
+    let n_rows = 1 + Tin_util.Prng.int rng 4 in
+    let rows =
+      List.init n_rows (fun _ ->
+          ( [|
+              float_of_int (1 + Tin_util.Prng.int rng 5);
+              float_of_int (1 + Tin_util.Prng.int rng 5);
+            |],
+            Simplex.Le,
+            float_of_int (1 + Tin_util.Prng.int rng 20) ))
+    in
+    (* All-positive coefficients with positive rhs: bounded, feasible. *)
+    match (Simplex.solve ~c ~rows (), brute_force_2d ~c ~rows) with
+    | Simplex.Optimal { objective; _ }, Some best ->
+        Alcotest.(check (float 1e-5)) "agrees with brute force" best objective
+    | outcome, _ ->
+        Alcotest.failf "unexpected outcome %s"
+          (match outcome with
+          | Simplex.Optimal _ -> "optimal/no-bruteforce"
+          | Simplex.Infeasible -> "infeasible"
+          | Simplex.Unbounded -> "unbounded"
+          | Simplex.Iteration_limit -> "iteration limit")
+  done
+
+let test_problem_basic () =
+  let p = Problem.create () in
+  let x = Problem.add_var ~ub:4.0 ~obj:3.0 ~name:"x" p in
+  let y = Problem.add_var ~obj:5.0 p in
+  Problem.add_le p [ (2.0, y) ] 12.0;
+  Problem.add_le p [ (3.0, x); (2.0, y) ] 18.0;
+  let sol = Problem.solve p in
+  Alcotest.(check bool) "optimal" true (sol.Problem.status = `Optimal);
+  Alcotest.(check (float 1e-6)) "objective" 36.0 sol.Problem.objective;
+  Alcotest.(check (float 1e-6)) "x" 2.0 (sol.Problem.value x);
+  Alcotest.(check (float 1e-6)) "y" 6.0 (sol.Problem.value y);
+  Alcotest.(check string) "name" "x" (Problem.var_name p x)
+
+let test_problem_minimize () =
+  let p = Problem.create ~direction:Problem.Minimize () in
+  let x = Problem.add_var ~obj:1.0 p in
+  Problem.add_ge p [ (1.0, x) ] 3.0;
+  let sol = Problem.solve p in
+  Alcotest.(check (float 1e-6)) "min x subject to x>=3" 3.0 sol.Problem.objective
+
+let test_problem_shifted_lower_bound () =
+  let p = Problem.create ~direction:Problem.Minimize () in
+  let x = Problem.add_var ~lb:2.0 ~ub:10.0 ~obj:1.0 p in
+  let sol = Problem.solve p in
+  Alcotest.(check (float 1e-6)) "sits at lb" 2.0 sol.Problem.objective;
+  Alcotest.(check (float 1e-6)) "value" 2.0 (sol.Problem.value x)
+
+let test_problem_free_variable () =
+  (* min x st x >= -5 with free x: optimum -5 (needs the split). *)
+  let p = Problem.create ~direction:Problem.Minimize () in
+  let x = Problem.add_var ~lb:neg_infinity ~obj:1.0 p in
+  Problem.add_ge p [ (1.0, x) ] (-5.0);
+  let sol = Problem.solve p in
+  Alcotest.(check (float 1e-6)) "objective" (-5.0) sol.Problem.objective;
+  Alcotest.(check (float 1e-6)) "x" (-5.0) (sol.Problem.value x)
+
+let test_problem_infeasible () =
+  let p = Problem.create () in
+  let x = Problem.add_var ~ub:1.0 p in
+  Problem.add_ge p [ (1.0, x) ] 2.0;
+  let sol = Problem.solve p in
+  Alcotest.(check bool) "infeasible" true (sol.Problem.status = `Infeasible)
+
+let test_problem_unbounded () =
+  let p = Problem.create () in
+  let _x = Problem.add_var ~obj:1.0 p in
+  let sol = Problem.solve p in
+  Alcotest.(check bool) "unbounded" true (sol.Problem.status = `Unbounded)
+
+let test_problem_frozen () =
+  let p = Problem.create () in
+  let _x = Problem.add_var p in
+  let _ = Problem.solve p in
+  Alcotest.check_raises "frozen" (Invalid_argument "Problem.add_var: problem already solved")
+    (fun () -> ignore (Problem.add_var p))
+
+let test_problem_bad_bounds () =
+  let p = Problem.create () in
+  Alcotest.check_raises "lb>ub" (Invalid_argument "Problem.add_var: lb > ub") (fun () ->
+      ignore (Problem.add_var ~lb:2.0 ~ub:1.0 p))
+
+(* --- bounded-variable simplex --- *)
+
+module Bounded = Tin_lp.Bounded
+
+let test_bounded_basic () =
+  (* max 3x + 5y, x <= 4 native bound, 2y <= 12, 3x + 2y <= 18. *)
+  match
+    Bounded.solve ~c:[| 3.0; 5.0 |] ~upper:[| 4.0; infinity |]
+      ~rows:[ ([| 0.0; 2.0 |], 12.0); ([| 3.0; 2.0 |], 18.0) ]
+      ()
+  with
+  | Bounded.Optimal { objective; solution } ->
+      Alcotest.(check (float 1e-6)) "objective" 36.0 objective;
+      Alcotest.(check (float 1e-6)) "x" 2.0 solution.(0);
+      Alcotest.(check (float 1e-6)) "y" 6.0 solution.(1)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_bounded_pure_bound_flip () =
+  (* No rows at all: optimum is every positive-cost variable at its
+     upper bound (requires bound flips, no pivots possible). *)
+  match
+    Bounded.solve ~c:[| 2.0; -1.0 |] ~upper:[| 3.0; 5.0 |] ~rows:[] ()
+  with
+  | Bounded.Optimal { objective; solution } ->
+      Alcotest.(check (float 1e-6)) "objective" 6.0 objective;
+      Alcotest.(check (float 1e-6)) "x at ub" 3.0 solution.(0);
+      Alcotest.(check (float 1e-6)) "y at lb" 0.0 solution.(1)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_bounded_unbounded () =
+  match Bounded.solve ~c:[| 1.0 |] ~upper:[| infinity |] ~rows:[] () with
+  | Bounded.Unbounded -> ()
+  | _ -> Alcotest.fail "expected unbounded"
+
+let test_bounded_rejects_negative_rhs () =
+  Alcotest.check_raises "negative rhs"
+    (Invalid_argument "Bounded.solve: negative rhs (origin must be feasible)") (fun () ->
+      ignore (Bounded.solve ~c:[| 1.0 |] ~upper:[| 1.0 |] ~rows:[ ([| 1.0 |], -1.0) ] ()))
+
+let test_bounded_vs_dense_random () =
+  (* On random bounded all-Le problems the two solvers must agree.
+     The random structure is recorded first, then two identical
+     problems are built from it. *)
+  let rng = Tin_util.Prng.create ~seed:4242 in
+  for _ = 1 to 200 do
+    let n = 1 + Tin_util.Prng.int rng 5 in
+    let vars_spec =
+      List.init n (fun _ ->
+          ( float_of_int (1 + Tin_util.Prng.int rng 9),
+            float_of_int (Tin_util.Prng.int rng 10) ))
+    in
+    let n_rows = Tin_util.Prng.int rng 4 in
+    let rows_spec =
+      List.init n_rows (fun _ ->
+          ( List.init n (fun _ -> float_of_int (Tin_util.Prng.int rng 4)),
+            float_of_int (5 + Tin_util.Prng.int rng 30) ))
+    in
+    let build () =
+      let p = Problem.create () in
+      let vars = List.map (fun (ub, obj) -> Problem.add_var ~ub ~obj p) vars_spec in
+      List.iter
+        (fun (coefs, rhs) -> Problem.add_le p (List.combine coefs vars) rhs)
+        rows_spec;
+      (p, vars)
+    in
+    let p1, vars1 = build () in
+    let p2, vars2 = build () in
+    let s1 = Problem.solve ~solver:`Dense p1 in
+    let s2 = Problem.solve ~solver:`Bounded p2 in
+    Alcotest.(check bool) "both optimal" true
+      (s1.Problem.status = `Optimal && s2.Problem.status = `Optimal);
+    Alcotest.(check (float 1e-5)) "objectives agree" s1.Problem.objective s2.Problem.objective;
+    (* Both solutions must be feasible for the recorded rows. *)
+    List.iter
+      (fun (coefs, rhs) ->
+        let lhs vars sol =
+          List.fold_left2 (fun acc c v -> acc +. (c *. sol.Problem.value v)) 0.0 coefs vars
+        in
+        Alcotest.(check bool) "dense feasible" true (lhs vars1 s1 <= rhs +. 1e-6);
+        Alcotest.(check bool) "bounded feasible" true (lhs vars2 s2 <= rhs +. 1e-6))
+      rows_spec
+  done
+
+let test_bounded_shape_rejected () =
+  let p = Problem.create () in
+  let x = Problem.add_var p in
+  Problem.add_ge p [ (1.0, x) ] 1.0;
+  Alcotest.check_raises "ge row rejected"
+    (Invalid_argument "Problem.solve: `Bounded requires <= rows, non-negative rhs, no free vars")
+    (fun () -> ignore (Problem.solve ~solver:`Bounded p))
+
+let test_problem_repeated_terms () =
+  (* x + x <= 4 means x <= 2. *)
+  let p = Problem.create () in
+  let x = Problem.add_var ~obj:1.0 p in
+  Problem.add_le p [ (1.0, x); (1.0, x) ] 4.0;
+  let sol = Problem.solve p in
+  Alcotest.(check (float 1e-6)) "objective" 2.0 sol.Problem.objective
+
+let () =
+  Alcotest.run "lp"
+    [
+      ( "simplex",
+        [
+          Alcotest.test_case "textbook" `Quick test_simplex_textbook;
+          Alcotest.test_case "equality row" `Quick test_simplex_equality;
+          Alcotest.test_case "ge row (phase 1)" `Quick test_simplex_ge;
+          Alcotest.test_case "infeasible" `Quick test_simplex_infeasible;
+          Alcotest.test_case "unbounded" `Quick test_simplex_unbounded;
+          Alcotest.test_case "negative rhs" `Quick test_simplex_negative_rhs;
+          Alcotest.test_case "degenerate" `Quick test_simplex_degenerate;
+          Alcotest.test_case "zero objective" `Quick test_simplex_zero_objective;
+          Alcotest.test_case "arity mismatch" `Quick test_simplex_arity_mismatch;
+          Alcotest.test_case "random vs brute force" `Quick test_simplex_vs_brute_force;
+        ] );
+      ( "problem",
+        [
+          Alcotest.test_case "basic" `Quick test_problem_basic;
+          Alcotest.test_case "minimize" `Quick test_problem_minimize;
+          Alcotest.test_case "lower bound shift" `Quick test_problem_shifted_lower_bound;
+          Alcotest.test_case "free variable" `Quick test_problem_free_variable;
+          Alcotest.test_case "infeasible" `Quick test_problem_infeasible;
+          Alcotest.test_case "unbounded" `Quick test_problem_unbounded;
+          Alcotest.test_case "frozen after solve" `Quick test_problem_frozen;
+          Alcotest.test_case "bad bounds" `Quick test_problem_bad_bounds;
+          Alcotest.test_case "repeated terms" `Quick test_problem_repeated_terms;
+        ] );
+      ( "bounded",
+        [
+          Alcotest.test_case "textbook" `Quick test_bounded_basic;
+          Alcotest.test_case "pure bound flips" `Quick test_bounded_pure_bound_flip;
+          Alcotest.test_case "unbounded" `Quick test_bounded_unbounded;
+          Alcotest.test_case "negative rhs rejected" `Quick test_bounded_rejects_negative_rhs;
+          Alcotest.test_case "random dense = bounded" `Quick test_bounded_vs_dense_random;
+          Alcotest.test_case "shape rejection" `Quick test_bounded_shape_rejected;
+        ] );
+    ]

@@ -1,0 +1,179 @@
+(* The Pre / PreSim pipelines, the solubility test, and method
+   agreement on the paper's examples. *)
+
+open Tin_testlib
+module Pipeline = Tin_core.Pipeline
+module Solubility = Tin_core.Solubility
+module P = Paper_examples
+
+let max_methods = Pipeline.[ Lp; Pre; Pre_sim; Time_expanded ]
+
+let check_all_methods name g ~source ~sink ~greedy ~max =
+  Check.check_flow (name ^ ": greedy") greedy (Pipeline.compute Pipeline.Greedy g ~source ~sink);
+  List.iter
+    (fun m ->
+      Check.check_flow
+        (Printf.sprintf "%s: %s" name (Pipeline.method_name m))
+        max
+        (Pipeline.compute m g ~source ~sink))
+    max_methods
+
+let test_fig3 () = check_all_methods "fig3" P.fig3 ~source:P.s ~sink:P.t ~greedy:1.0 ~max:5.0
+
+let test_fig1a () =
+  check_all_methods "fig1a" P.fig1a ~source:P.s ~sink:P.t ~greedy:2.0 ~max:5.0
+
+let test_fig5a () =
+  check_all_methods "fig5a" P.fig5a ~source:P.s ~sink:P.t ~greedy:7.0 ~max:7.0
+
+let test_fig7 () =
+  let expected = Pipeline.compute Pipeline.Lp P.fig7 ~source:P.s ~sink:P.t in
+  check_all_methods "fig7" P.fig7 ~source:P.s ~sink:P.t
+    ~greedy:(Tin_core.Greedy.flow P.fig7 ~source:P.s ~sink:P.t)
+    ~max:expected
+
+let test_solubility_chain () =
+  Alcotest.(check bool) "chain is soluble" true
+    (Solubility.soluble P.fig5a ~source:P.s ~sink:P.t);
+  Alcotest.(check bool) "chain shape" true (Solubility.is_chain P.fig5a ~source:P.s ~sink:P.t)
+
+let test_solubility_fig3 () =
+  Alcotest.(check bool) "fig3 not soluble (y has 2 outgoing)" false
+    (Solubility.soluble P.fig3 ~source:P.s ~sink:P.t);
+  Alcotest.(check bool) "not a chain" false (Solubility.is_chain P.fig3 ~source:P.s ~sink:P.t)
+
+let test_solubility_lemma2_non_chain () =
+  (* Source fans out, interior vertices have one outgoing each:
+     Lemma 2 applies though it is no chain. *)
+  let g =
+    Graph.of_edges
+      [
+        (0, 1, [ (1.0, 5.0) ]);
+        (0, 2, [ (2.0, 5.0) ]);
+        (1, 3, [ (3.0, 4.0) ]);
+        (2, 3, [ (4.0, 4.0) ]);
+      ]
+  in
+  Alcotest.(check bool) "soluble" true (Solubility.soluble g ~source:0 ~sink:3);
+  Alcotest.(check bool) "not chain" false (Solubility.is_chain g ~source:0 ~sink:3);
+  check_all_methods "lemma2" g ~source:0 ~sink:3 ~greedy:8.0 ~max:8.0
+
+let test_solubility_requires_dag () =
+  let g = Graph.of_edges [ (0, 1, [ (1.0, 1.0) ]); (1, 0, [ (2.0, 1.0) ]) ] in
+  Alcotest.(check bool) "cyclic graph not soluble" false (Solubility.soluble g ~source:0 ~sink:1)
+
+let test_solubility_dead_end () =
+  (* A dead-end interior vertex has out-degree 0: Lemma 2 does not
+     apply (greedy may waste quantity into it). *)
+  let g =
+    Graph.of_edges
+      [ (0, 1, [ (1.0, 5.0) ]); (1, 2, [ (2.0, 5.0) ]); (1, 3, [ (3.0, 5.0) ]); (3, 4, [ (4.0, 5.0) ]) ]
+  in
+  (* vertex 2 is a dead end (sink is 4) *)
+  Alcotest.(check bool) "not soluble" false (Solubility.soluble g ~source:0 ~sink:4)
+
+let test_classify () =
+  (* Class A: soluble as-is. *)
+  Alcotest.(check string) "fig5a class A" "Class A"
+    (Pipeline.cls_name (Pipeline.classify P.fig5a ~source:P.s ~sink:P.t));
+  (* Class C: fig3 stays insoluble (nothing for preprocessing to remove). *)
+  Alcotest.(check string) "fig3 class C" "Class C"
+    (Pipeline.cls_name (Pipeline.classify P.fig3 ~source:P.s ~sink:P.t));
+  (* Class B: preprocessing removes the branch that breaks Lemma 2. *)
+  let g =
+    Graph.of_edges
+      [
+        (0, 1, [ (1.0, 5.0) ]);
+        (1, 2, [ (2.0, 5.0) ]);
+        (1, 3, [ (0.5, 5.0) ]);
+        (* dies in preprocessing: too early *)
+        (3, 2, [ (9.0, 5.0) ]);
+      ]
+  in
+  Alcotest.(check string) "class B" "Class B"
+    (Pipeline.cls_name (Pipeline.classify g ~source:0 ~sink:2))
+
+let test_report () =
+  let r = Pipeline.report P.fig3 ~source:P.s ~sink:P.t in
+  Check.check_flow "value" 5.0 r.Pipeline.value;
+  Alcotest.(check bool) "class C" true (r.Pipeline.cls = Pipeline.C);
+  Alcotest.(check int) "vars before" 3 r.Pipeline.lp_vars_before;
+  Alcotest.(check bool) "vars after <= before" true
+    (r.Pipeline.lp_vars_after <= r.Pipeline.lp_vars_before)
+
+let test_report_soluble () =
+  let r = Pipeline.report P.fig5a ~source:P.s ~sink:P.t in
+  Alcotest.(check bool) "class A" true (r.Pipeline.cls = Pipeline.A);
+  Alcotest.(check int) "no LP" 0 r.Pipeline.lp_vars_after
+
+let test_zero_flow_via_preprocess () =
+  let g = Graph.of_edges [ (0, 1, [ (10.0, 5.0) ]); (1, 2, [ (1.0, 5.0) ]) ] in
+  List.iter
+    (fun m ->
+      Check.check_flow (Pipeline.method_name m) 0.0 (Pipeline.compute m g ~source:0 ~sink:2))
+    Pipeline.[ Greedy; Lp; Pre; Pre_sim; Time_expanded ]
+
+let test_cyclic_fallback () =
+  (* Pre/PreSim fall back to the time-expanded reduction on non-DAG
+     inputs instead of failing. *)
+  let g =
+    Graph.of_edges
+      [
+        (0, 1, [ (1.0, 4.0) ]);
+        (1, 2, [ (2.0, 4.0) ]);
+        (2, 1, [ (3.0, 4.0) ]);
+        (1, 3, [ (4.0, 4.0) ]);
+      ]
+  in
+  Check.check_flow "Pre on cyclic" 4.0 (Pipeline.compute Pipeline.Pre g ~source:0 ~sink:3);
+  Check.check_flow "PreSim on cyclic" 4.0 (Pipeline.compute Pipeline.Pre_sim g ~source:0 ~sink:3);
+  Alcotest.(check string) "classified C" "Class C"
+    (Pipeline.cls_name (Pipeline.classify g ~source:0 ~sink:3))
+
+let test_greedy_can_be_arbitrarily_worse () =
+  (* Scale Figure 3 quantities: the greedy/max gap grows linearly —
+     "the flow computed by the greedy algorithm can be arbitrarily
+     smaller than the maximum possible flow". *)
+  let scale k =
+    Graph.of_edges
+      [
+        (P.s, P.y, [ (1.0, 5.0 *. k) ]);
+        (P.s, P.z, [ (2.0, 3.0 *. k) ]);
+        (P.y, P.z, [ (3.0, 5.0 *. k) ]);
+        (P.y, P.t, [ (4.0, 4.0 *. k) ]);
+        (P.z, P.t, [ (5.0, 1.0) ]);
+      ]
+  in
+  let g = scale 100.0 in
+  let greedy = Pipeline.compute Pipeline.Greedy g ~source:P.s ~sink:P.t in
+  let best = Pipeline.max_flow g ~source:P.s ~sink:P.t in
+  Alcotest.(check bool) "gap grows" true (best /. greedy > 100.0)
+
+let () =
+  Alcotest.run "pipeline"
+    [
+      ( "method-agreement",
+        [
+          Alcotest.test_case "figure 3" `Quick test_fig3;
+          Alcotest.test_case "figure 1(a)" `Quick test_fig1a;
+          Alcotest.test_case "figure 5(a)" `Quick test_fig5a;
+          Alcotest.test_case "figure 7" `Quick test_fig7;
+        ] );
+      ( "solubility",
+        [
+          Alcotest.test_case "chain" `Quick test_solubility_chain;
+          Alcotest.test_case "figure 3" `Quick test_solubility_fig3;
+          Alcotest.test_case "lemma 2 non-chain" `Quick test_solubility_lemma2_non_chain;
+          Alcotest.test_case "requires DAG" `Quick test_solubility_requires_dag;
+          Alcotest.test_case "dead end" `Quick test_solubility_dead_end;
+        ] );
+      ( "classification",
+        [
+          Alcotest.test_case "classes" `Quick test_classify;
+          Alcotest.test_case "report" `Quick test_report;
+          Alcotest.test_case "report (soluble)" `Quick test_report_soluble;
+          Alcotest.test_case "zero flow" `Quick test_zero_flow_via_preprocess;
+          Alcotest.test_case "cyclic fallback" `Quick test_cyclic_fallback;
+          Alcotest.test_case "greedy arbitrarily worse" `Quick test_greedy_can_be_arbitrarily_worse;
+        ] );
+    ]

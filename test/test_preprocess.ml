@@ -1,0 +1,113 @@
+(* DAG preprocessing (Algorithm 1): paper traces, cascades, and
+   flow preservation. *)
+
+open Tin_testlib
+module Preprocess = Tin_core.Preprocess
+module Pipeline = Tin_core.Pipeline
+module P = Paper_examples
+
+let test_fig6_g1 () =
+  let r = Preprocess.run P.fig6_g1 ~source:P.s ~sink:P.t in
+  Alcotest.check Check.graph "matches Figure 6(b)" P.fig6_g1_expected r.Preprocess.graph;
+  Alcotest.(check bool) "not zero flow" false r.Preprocess.zero_flow;
+  Alcotest.(check int) "4 interactions removed" 4 r.Preprocess.removed_interactions;
+  Alcotest.(check int) "no edges removed" 0 r.Preprocess.removed_edges;
+  Alcotest.(check int) "no vertices removed" 0 r.Preprocess.removed_vertices
+
+let test_fig6_g2 () =
+  let r = Preprocess.run P.fig6_g2 ~source:P.s ~sink:P.t in
+  Alcotest.check Check.graph "matches Figure 6(d)" P.fig6_g2_expected r.Preprocess.graph;
+  Alcotest.(check bool) "not zero flow" false r.Preprocess.zero_flow;
+  Alcotest.(check int) "x and y removed" 2 r.Preprocess.removed_vertices
+
+let test_fig1a_interaction_removal () =
+  (* (2,$3) on (z,t) is impossible: z receives nothing before time 5. *)
+  let r = Preprocess.run P.fig1a ~source:P.s ~sink:P.t in
+  Alcotest.check Check.interactions "z->t loses (2,3)"
+    (Interaction.of_pairs [ (10.0, 1.0) ])
+    (Graph.edge r.Preprocess.graph ~src:P.z ~dst:P.t)
+
+let test_input_untouched () =
+  let before = Graph.n_interactions P.fig6_g1 in
+  ignore (Preprocess.run P.fig6_g1 ~source:P.s ~sink:P.t);
+  Alcotest.(check int) "persistent input" before (Graph.n_interactions P.fig6_g1)
+
+let test_zero_flow_detection () =
+  (* Everything into the sink happens before anything leaves the
+     source: all interior interactions die, flow is provably 0. *)
+  let g =
+    Graph.of_edges [ (0, 1, [ (10.0, 5.0) ]); (1, 2, [ (1.0, 5.0) ]) ]
+  in
+  let r = Preprocess.run g ~source:0 ~sink:2 in
+  Alcotest.(check bool) "zero flow" true r.Preprocess.zero_flow
+
+let test_upstream_cascade () =
+  (* 0 -> 1 -> 2 -> 3 and 1 -> 3; killing 2's only outgoing interaction
+     deletes vertex 2 and its incoming edge, but 1 still reaches 3. *)
+  let g =
+    Graph.of_edges
+      [
+        (0, 1, [ (1.0, 5.0) ]);
+        (1, 2, [ (2.0, 5.0) ]);
+        (2, 3, [ (1.5, 5.0) ]);
+        (1, 3, [ (3.0, 2.0) ]);
+      ]
+  in
+  let r = Preprocess.run g ~source:0 ~sink:3 in
+  Alcotest.(check bool) "vertex 2 gone" false (Graph.mem_vertex r.Preprocess.graph 2);
+  Alcotest.(check bool) "still has flow" false r.Preprocess.zero_flow;
+  Alcotest.(check (float 1e-9)) "flow preserved" 2.0
+    (Pipeline.max_flow r.Preprocess.graph ~source:0 ~sink:3)
+
+let test_upstream_cascade_to_source () =
+  (* The cascade may propagate all the way to the source. *)
+  let g = Graph.of_edges [ (0, 1, [ (5.0, 5.0) ]); (1, 2, [ (1.0, 5.0) ]) ] in
+  let r = Preprocess.run g ~source:0 ~sink:2 in
+  Alcotest.(check bool) "zero flow" true r.Preprocess.zero_flow
+
+let test_no_incoming_interior () =
+  (* An interior vertex with no incoming edges contributes nothing. *)
+  let g =
+    Graph.of_edges
+      [ (0, 2, [ (1.0, 5.0) ]); (1, 2, [ (2.0, 7.0) ]); (2, 3, [ (3.0, 9.0) ]) ]
+  in
+  let r = Preprocess.run g ~source:0 ~sink:3 in
+  Alcotest.(check bool) "vertex 1 deleted" false (Graph.mem_vertex r.Preprocess.graph 1);
+  Alcotest.(check (float 1e-9)) "flow preserved" 5.0
+    (Pipeline.max_flow r.Preprocess.graph ~source:0 ~sink:3)
+
+let test_cyclic_rejected () =
+  let g = Graph.of_edges [ (0, 1, [ (1.0, 1.0) ]); (1, 0, [ (2.0, 1.0) ]) ] in
+  Alcotest.check_raises "cycle" (Invalid_argument "Topo.sort_exn: graph has a cycle") (fun () ->
+      ignore (Preprocess.run g ~source:0 ~sink:1))
+
+let test_source_eq_sink_rejected () =
+  Alcotest.check_raises "source=sink" (Invalid_argument "Preprocess.run: source = sink")
+    (fun () -> ignore (Preprocess.run P.fig3 ~source:P.s ~sink:P.s))
+
+let test_already_clean () =
+  let r = Preprocess.run P.fig3 ~source:P.s ~sink:P.t in
+  Alcotest.check Check.graph "nothing to remove" P.fig3 r.Preprocess.graph;
+  Alcotest.(check int) "zero removed" 0 r.Preprocess.removed_interactions
+
+let () =
+  Alcotest.run "preprocess"
+    [
+      ( "paper-traces",
+        [
+          Alcotest.test_case "figure 6 G1" `Quick test_fig6_g1;
+          Alcotest.test_case "figure 6 G2" `Quick test_fig6_g2;
+          Alcotest.test_case "figure 1(a) interaction" `Quick test_fig1a_interaction_removal;
+        ] );
+      ( "mechanics",
+        [
+          Alcotest.test_case "input untouched" `Quick test_input_untouched;
+          Alcotest.test_case "zero-flow detection" `Quick test_zero_flow_detection;
+          Alcotest.test_case "upstream cascade" `Quick test_upstream_cascade;
+          Alcotest.test_case "cascade to source" `Quick test_upstream_cascade_to_source;
+          Alcotest.test_case "no-incoming interior" `Quick test_no_incoming_interior;
+          Alcotest.test_case "cycle rejected" `Quick test_cyclic_rejected;
+          Alcotest.test_case "source=sink rejected" `Quick test_source_eq_sink_rejected;
+          Alcotest.test_case "already clean" `Quick test_already_clean;
+        ] );
+    ]

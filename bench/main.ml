@@ -2,23 +2,36 @@
    paper's evaluation (Section 6) on the synthetic datasets.
 
    Usage:
-     main.exe [--quick] [target ...]
+     main.exe [--quick] [--json PATH] [target ...]
    Targets: table4 table5 table6 table7 table8 figure11 table9 table10
-   table11 flows patterns micro all (default: all). *)
+   table11 flows patterns micro solvers all (default: all).
+   --json sets the output path of the solver benchmark's
+   machine-readable results (default: BENCH_flow.json). *)
 
 let known_targets =
   [
     "table4"; "table5"; "table6"; "table7"; "table8"; "figure11"; "table9"; "table10"; "table11";
-    "flows"; "patterns"; "micro"; "ablation"; "sweep"; "all";
+    "flows"; "patterns"; "micro"; "ablation"; "sweep"; "solvers"; "all";
   ]
 
 let usage () =
-  Printf.printf "usage: main.exe [--quick] [%s]*\n" (String.concat "|" known_targets);
+  Printf.printf "usage: main.exe [--quick] [--json PATH] [%s]*\n"
+    (String.concat "|" known_targets);
   exit 2
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let quick = List.mem "--quick" args in
+  let json = ref "BENCH_flow.json" in
+  let rec strip = function
+    | "--json" :: path :: rest ->
+        json := path;
+        strip rest
+    | [ "--json" ] -> usage ()
+    | a :: rest -> a :: strip rest
+    | [] -> []
+  in
+  let args = strip args in
   let targets = List.filter (fun a -> a <> "--quick") args in
   let targets = if targets = [] then [ "all" ] else targets in
   List.iter
@@ -84,5 +97,9 @@ let () =
     [ ("table9", 9); ("table10", 10); ("table11", 11) ];
   if wants "ablation" then Ablation.run datasets;
   if wants "sweep" then Sweep.run ();
+  if wants "solvers" then begin
+    Solver_bench.run ~json:!json ~scale_name:(if quick then "quick" else "full") datasets;
+    print_newline ()
+  end;
   if wants "micro" || List.mem "all" targets then Micro.run datasets;
   print_endline "Done."

@@ -2,6 +2,7 @@
 
    Subcommands:
      flow      compute greedy/maximum flow on a CSV network
+     batch     evaluate all extracted subgraph flows across CPU cores
      patterns  enumerate flow patterns on a CSV network
      generate  write a synthetic dataset to CSV
      dot       render a CSV network to GraphViz *)
@@ -31,6 +32,30 @@ let method_conv =
   in
   Arg.conv (parse, fun ppf m -> Fmt.string ppf (Pipeline.method_name m))
 
+let solver_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "auto" -> Ok `Auto
+    | "dense" -> Ok `Dense
+    | "bounded" -> Ok `Bounded
+    | "sparse" -> Ok `Sparse
+    | _ -> Error (`Msg "expected auto | dense | bounded | sparse")
+  in
+  let print ppf (s : Tin_lp.Problem.solver) =
+    Fmt.string ppf
+      (match s with `Auto -> "auto" | `Dense -> "dense" | `Bounded -> "bounded" | `Sparse -> "sparse")
+  in
+  Arg.conv (parse, print)
+
+let solver_arg =
+  Arg.(
+    value
+    & opt solver_conv `Auto
+    & info [ "solver" ] ~docv:"SOLVER"
+        ~doc:
+          "LP solver for the simplex stages: auto | dense | bounded | sparse (default auto: \
+           picks the sparse revised simplex on large sparse instances).")
+
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"NETWORK.csv" ~doc:"Interaction network (src,dst,time,qty lines).")
 
@@ -47,7 +72,7 @@ let flow_cmd =
   let meth =
     Arg.(value & opt (some method_conv) None & info [ "method"; "m" ] ~docv:"METHOD" ~doc:"greedy | lp | pre | presim | timeexp (default: report greedy and presim).")
   in
-  let run file source sink split meth =
+  let run file source sink split meth solver =
     setup_logs ();
     let g = Io.load_csv_graph file in
     match
@@ -77,9 +102,9 @@ let flow_cmd =
     (match meth with
     | Some m ->
         Printf.printf "%s flow: %g\n" (Pipeline.method_name m)
-          (Pipeline.compute m g ~source ~sink)
+          (Pipeline.compute ~solver m g ~source ~sink)
     | None ->
-        let r = Pipeline.report g ~source ~sink in
+        let r = Pipeline.report ~solver g ~source ~sink in
         Printf.printf "greedy flow:  %g\n" (Pipeline.compute Pipeline.Greedy g ~source ~sink);
         Printf.printf "maximum flow: %g\n" r.Pipeline.value;
         Printf.printf "difficulty:   %s (LP variables %d -> %d)\n"
@@ -89,7 +114,69 @@ let flow_cmd =
   in
   Cmd.v
     (Cmd.info "flow" ~doc:"Compute source-to-sink flow in an interaction network")
-    Term.(const run $ file_arg $ source $ sink $ split $ meth)
+    Term.(const run $ file_arg $ source $ sink $ split $ meth $ solver_arg)
+
+(* --- batch --- *)
+
+let batch_cmd =
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Number of domains (cores) to use (default: all recommended).")
+  in
+  let meth =
+    Arg.(
+      value
+      & opt method_conv Pipeline.Pre_sim
+      & info [ "method"; "m" ] ~docv:"METHOD" ~doc:"Flow method per subgraph (default presim).")
+  in
+  let max_interactions =
+    Arg.(
+      value
+      & opt int 1000
+      & info [ "max-interactions" ] ~docv:"N" ~doc:"Discard subgraphs above N interactions.")
+  in
+  let max_subgraphs =
+    Arg.(value & opt int max_int & info [ "max-subgraphs" ] ~docv:"N" ~doc:"Stop after N subgraphs.")
+  in
+  let run file jobs meth solver max_interactions max_subgraphs =
+    setup_logs ();
+    if (match jobs with Some j -> j < 1 | None -> false) then begin
+      prerr_endline "tinflow: --jobs must be positive";
+      exit 2
+    end;
+    let net = Io.load_csv file in
+    let problems =
+      Tin_datasets.Extract.extract ~max_interactions ~max_subgraphs net
+      |> List.map (fun (p : Tin_datasets.Extract.problem) ->
+             { Tin_core.Batch.graph = p.Tin_datasets.Extract.graph;
+               source = p.Tin_datasets.Extract.source;
+               sink = p.Tin_datasets.Extract.sink })
+    in
+    if problems = [] then begin
+      prerr_endline "tinflow: no cycle subgraphs found (nothing to batch)";
+      1
+    end
+    else begin
+      let jobs = Option.value jobs ~default:(Tin_core.Batch.recommended_jobs ()) in
+      let values, secs =
+        Tin_util.Timer.time_f (fun () ->
+            Tin_core.Batch.max_flows ~jobs ~solver ~method_:meth problems)
+      in
+      let total = List.fold_left ( +. ) 0.0 values in
+      Printf.printf "subgraphs:  %d\n" (List.length values);
+      Printf.printf "total flow: %g\n" total;
+      Printf.printf "elapsed:    %.3fs on %d domain(s) (%.1f subgraphs/s)\n" secs jobs
+        (float_of_int (List.length values) /. Float.max secs 1e-9);
+      0
+    end
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"Compute the flow of every extracted cycle subgraph, in parallel across cores")
+    Term.(const run $ file_arg $ jobs $ meth $ solver_arg $ max_interactions $ max_subgraphs)
 
 (* --- paths (flow decomposition) --- *)
 
@@ -263,4 +350,4 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ flow_cmd; paths_cmd; profile_cmd; patterns_cmd; generate_cmd; dot_cmd ]))
+          [ flow_cmd; batch_cmd; paths_cmd; profile_cmd; patterns_cmd; generate_cmd; dot_cmd ]))

@@ -1,0 +1,55 @@
+type problem = { graph : Graph.t; source : Graph.vertex; sink : Graph.vertex }
+
+let recommended_jobs () = Domain.recommended_domain_count ()
+
+(* Chunked-queue parallel map: one atomic cursor over the item array;
+   every domain (including the caller) claims [chunk] consecutive
+   indices per fetch-and-add until the array is exhausted.  Results
+   land in per-index slots, each written by exactly one domain;
+   [Domain.join] publishes them to the caller. *)
+let map ?jobs ?(chunk = 4) f items =
+  if chunk < 1 then invalid_arg "Batch.map: chunk must be positive";
+  let n = Array.length items in
+  let jobs =
+    match jobs with
+    | Some j -> if j < 1 then invalid_arg "Batch.map: jobs must be positive" else j
+    | None -> max 1 (min (recommended_jobs ()) n)
+  in
+  if n = 0 then [||]
+  else if jobs = 1 then Array.map f items
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let start = Atomic.fetch_and_add next chunk in
+        if start < n then begin
+          let stop = min n (start + chunk) in
+          for i = start to stop - 1 do
+            results.(i) <-
+              Some
+                (match f items.(i) with
+                | v -> Ok v
+                | exception e -> Error (e, Printexc.get_raw_backtrace ()))
+          done;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let helpers = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join helpers;
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | None -> assert false)
+      results
+  end
+
+let max_flows ?jobs ?chunk ?solver ?(method_ = Pipeline.Pre_sim) problems =
+  map ?jobs ?chunk
+    (fun { graph; source; sink } -> Pipeline.compute ?solver method_ graph ~source ~sink)
+    (Array.of_list problems)
+  |> Array.to_list

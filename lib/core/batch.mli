@@ -1,0 +1,39 @@
+(** Multicore batch evaluation of independent flow problems.
+
+    The workload shape of the extraction benchmarks and of any
+    many-endpoint-pair analysis: thousands of small, mutually
+    independent subgraph solves.  Each solve touches only its own
+    (persistent) graph and a private LP builder, so the problems
+    parallelize across OCaml 5 [Domain]s with no shared mutable state.
+    Work is handed out in fixed-size chunks from a single atomic
+    cursor — a chunked queue rather than work stealing, which is
+    enough because chunk granularity amortizes the cursor contention
+    and the per-problem cost variance is modest. *)
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the default parallelism. *)
+
+val map : ?jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map f items] evaluates [f] on every element, preserving order.
+    [jobs] (default: [min (recommended_jobs ()) (length items)], at
+    least 1) is the total number of domains used, including the
+    calling one; [jobs = 1] degrades to [Array.map].  [chunk]
+    (default 4) is the number of consecutive items claimed per queue
+    round-trip.  [f] must be safe to run concurrently with itself.  If
+    any invocation raises, the first exception (in item order) is
+    re-raised after all domains have drained.
+    @raise Invalid_argument if [jobs] or [chunk] is not positive. *)
+
+type problem = { graph : Graph.t; source : Graph.vertex; sink : Graph.vertex }
+
+val max_flows :
+  ?jobs:int ->
+  ?chunk:int ->
+  ?solver:Tin_lp.Problem.solver ->
+  ?method_:Pipeline.method_ ->
+  problem list ->
+  float list
+(** Flow value of every problem, in order, computed across domains.
+    [method_] defaults to {!Pipeline.Pre_sim}; [solver] is passed to
+    the LP stages (default [`Auto]).
+    @raise Pipeline.Solver_failure as {!Pipeline.compute}. *)

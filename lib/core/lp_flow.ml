@@ -63,52 +63,52 @@ let build g ~source ~sink =
   Hashtbl.iter
     (fun v evs ->
       if v <> source && v <> sink then begin
-        let evs = List.sort (fun a b -> Float.compare a.time b.time) !evs in
-        (* Group by timestamp, walking forward while accumulating
-           incoming terms (variables and constants) seen strictly
-           before the current group. *)
+        let evs = Array.of_list !evs in
+        Array.sort (fun a b -> Float.compare a.time b.time) evs;
+        let n = Array.length evs in
+        (* One forward pass over the sorted events, one timestamp group
+           at a time, accumulating incoming terms (variables and
+           constants) seen strictly before the current group. *)
         let in_vars = ref [] (* (coef, var) of incoming, accumulated *) in
         let in_fixed = ref 0.0 in
         let out_vars = ref [] in
-        let has_out = ref false in
-        let rec walk = function
-          | [] -> ()
-          | e :: _ as evs ->
-              let tau = e.time in
-              let group, rest = List.partition (fun e' -> Float.equal e'.time tau) evs in
-              (* Outgoing events of this group join the cumulative
-                 outgoing side before the constraint is emitted
-                 (cumulative ≤ τ). *)
-              let group_out = List.filter (fun e' -> not e'.incoming) group in
-              if group_out <> [] then begin
-                List.iter
-                  (fun e' ->
-                    match e'.var with
-                    | Some x -> out_vars := (1.0, x) :: !out_vars
-                    | None -> assert false (* outgoing of v ≠ source always has a var *))
-                  group_out;
-                has_out := true;
-                if !in_fixed < infinity then begin
-                  (* Σ out(≤τ) − Σ in(<τ) ≤ fixed_in(<τ) *)
-                  let terms =
-                    List.rev_append !out_vars (List.map (fun (c, x) -> (-.c, x)) !in_vars)
-                  in
-                  Problem.add_le problem terms !in_fixed;
-                  incr n_rows
-                end
-              end;
-              (* Incoming arrivals at τ become available after τ. *)
-              List.iter
-                (fun e' ->
-                  if e'.incoming then
-                    match e'.var with
-                    | Some x -> in_vars := (1.0, x) :: !in_vars
-                    | None -> in_fixed := !in_fixed +. e'.qty)
-                group;
-              walk rest
-        in
-        walk evs;
-        ignore !has_out
+        let i = ref 0 in
+        while !i < n do
+          let tau = evs.(!i).time in
+          let stop = ref !i in
+          while !stop < n && Float.equal evs.(!stop).time tau do
+            incr stop
+          done;
+          (* Outgoing events of this group join the cumulative outgoing
+             side before the constraint is emitted (cumulative ≤ τ). *)
+          let has_out = ref false in
+          for k = !i to !stop - 1 do
+            let e = evs.(k) in
+            if not e.incoming then begin
+              (match e.var with
+              | Some x -> out_vars := (1.0, x) :: !out_vars
+              | None -> assert false (* outgoing of v ≠ source always has a var *));
+              has_out := true
+            end
+          done;
+          if !has_out && !in_fixed < infinity then begin
+            (* Σ out(≤τ) − Σ in(<τ) ≤ fixed_in(<τ) *)
+            let terms =
+              List.rev_append !out_vars (List.map (fun (c, x) -> (-.c, x)) !in_vars)
+            in
+            Problem.add_le problem terms !in_fixed;
+            incr n_rows
+          end;
+          (* Incoming arrivals at τ become available after τ. *)
+          for k = !i to !stop - 1 do
+            let e = evs.(k) in
+            if e.incoming then
+              match e.var with
+              | Some x -> in_vars := (1.0, x) :: !in_vars
+              | None -> in_fixed := !in_fixed +. e.qty
+          done;
+          i := !stop
+        done
       end)
     events;
   {

@@ -37,11 +37,13 @@ val solve :
 (** Builds and solves; [Ok flow] on success.  [`Infeasible] cannot
     happen on well-formed inputs ([x = 0] is always feasible) and
     [`Unbounded] only on graphs with an all-infinite source→sink
-    path.  [solver] selects the simplex variant (default [`Auto],
-    which uses the bounded-variable simplex — flow LPs always fit its
-    shape); [`Dense] forces the row-based two-phase simplex, the
-    configuration measured against [`Bounded] by the ablation
-    benchmark. *)
+    path.  [solver] selects the simplex variant (default [`Auto]:
+    flow LPs always fit the bounded-variable shape, so [`Auto] routes
+    between the sparse revised simplex — large, sparse instances — and
+    the dense bounded tableau); [`Dense] forces the row-based
+    two-phase simplex and [`Sparse]/[`Bounded] the respective native
+    bounded solvers, the configurations compared by the solver
+    benchmark ([bench/main.exe solvers]). *)
 
 val n_variables : Graph.t -> source:Graph.vertex -> int
 (** Number of LP variables the formulation would have — the problem

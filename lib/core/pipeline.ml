@@ -17,8 +17,8 @@ type report = { value : float; cls : cls; lp_vars_before : int; lp_vars_after : 
 
 exception Solver_failure of string
 
-let solve_lp g ~source ~sink =
-  match Lp_flow.solve g ~source ~sink with
+let solve_lp ?solver g ~source ~sink =
+  match Lp_flow.solve ?solver g ~source ~sink with
   | Ok v -> v
   | Error `Unbounded -> raise (Solver_failure "LP unbounded (all-infinite source-sink path?)")
   | Error `Infeasible -> raise (Solver_failure "LP infeasible (internal error)")
@@ -27,7 +27,7 @@ let solve_lp g ~source ~sink =
 (* The Pre / PreSim pipelines.  [simplify] toggles the Algorithm-2
    stage.  Returns the flow and the stage accounting used by
    [report]. *)
-let staged ~simplify g ~source ~sink =
+let staged ?solver ~simplify g ~source ~sink =
   if Solubility.soluble g ~source ~sink then (Greedy.flow g ~source ~sink, A, 0)
   else if not (Topo.is_dag g) then
     (* The DAG accelerators do not apply; the time-expanded reduction
@@ -47,23 +47,23 @@ let staged ~simplify g ~source ~sink =
          whole thing collapsed to parallel source edges). *)
       if simplify && Solubility.soluble g' ~source ~sink then
         (Greedy.flow g' ~source ~sink, C, 0)
-      else (solve_lp g' ~source ~sink, C, Lp_flow.n_variables g' ~source)
+      else (solve_lp ?solver g' ~source ~sink, C, Lp_flow.n_variables g' ~source)
     end
   end
 
-let compute method_ g ~source ~sink =
+let compute ?solver method_ g ~source ~sink =
   match method_ with
   | Greedy -> Greedy.flow g ~source ~sink
-  | Lp -> solve_lp g ~source ~sink
+  | Lp -> solve_lp ?solver g ~source ~sink
   | Pre ->
-      let v, _, _ = staged ~simplify:false g ~source ~sink in
+      let v, _, _ = staged ?solver ~simplify:false g ~source ~sink in
       v
   | Pre_sim ->
-      let v, _, _ = staged ~simplify:true g ~source ~sink in
+      let v, _, _ = staged ?solver ~simplify:true g ~source ~sink in
       v
   | Time_expanded -> Tin_maxflow.Time_expand.max_flow g ~source ~sink
 
-let max_flow g ~source ~sink = compute Pre_sim g ~source ~sink
+let max_flow ?solver g ~source ~sink = compute ?solver Pre_sim g ~source ~sink
 
 let classify g ~source ~sink =
   if Solubility.soluble g ~source ~sink then A
@@ -74,7 +74,7 @@ let classify g ~source ~sink =
     else C
   end
 
-let report g ~source ~sink =
+let report ?solver g ~source ~sink =
   let lp_vars_before = Lp_flow.n_variables g ~source in
-  let value, cls, lp_vars_after = staged ~simplify:true g ~source ~sink in
+  let value, cls, lp_vars_after = staged ?solver ~simplify:true g ~source ~sink in
   { value; cls; lp_vars_before; lp_vars_after }

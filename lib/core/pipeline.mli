@@ -37,20 +37,39 @@ exception Solver_failure of string
 (** Raised when the LP solver reports unbounded/iteration-limit —
     does not happen on well-formed finite problems. *)
 
-val compute : method_ -> Graph.t -> source:Graph.vertex -> sink:Graph.vertex -> float
+val compute :
+  ?solver:Tin_lp.Problem.solver ->
+  method_ ->
+  Graph.t ->
+  source:Graph.vertex ->
+  sink:Graph.vertex ->
+  float
 (** Flow value from [source] to [sink] by the given method.  For
     [Greedy] this is the greedy flow; for all other methods the
     maximum flow.  On cyclic graphs [Pre]/[Pre_sim] skip the DAG-only
     accelerators and fall back to the time-expanded reduction (which,
-    like [Lp] and [Time_expanded], is structure-agnostic).
+    like [Lp] and [Time_expanded], is structure-agnostic).  [solver]
+    selects the simplex variant for the LP stages of [Lp], [Pre] and
+    [Pre_sim] (default [`Auto]); [Greedy] and [Time_expanded] ignore
+    it.
     @raise Solver_failure on solver breakdown. *)
 
-val max_flow : Graph.t -> source:Graph.vertex -> sink:Graph.vertex -> float
+val max_flow :
+  ?solver:Tin_lp.Problem.solver ->
+  Graph.t ->
+  source:Graph.vertex ->
+  sink:Graph.vertex ->
+  float
 (** [compute Pre_sim] — the recommended entry point. *)
 
 val classify : Graph.t -> source:Graph.vertex -> sink:Graph.vertex -> cls
 (** Difficulty class of a DAG (used to bucket benchmark subgraphs). *)
 
-val report : Graph.t -> source:Graph.vertex -> sink:Graph.vertex -> report
+val report :
+  ?solver:Tin_lp.Problem.solver ->
+  Graph.t ->
+  source:Graph.vertex ->
+  sink:Graph.vertex ->
+  report
 (** Full [Pre_sim] run with classification and problem-size
     accounting. *)

@@ -9,15 +9,17 @@ type var_info = { lb : float; ub : float; obj : float; name : string }
 
 type t = {
   direction : direction;
-  mutable vars : var_info list; (* reversed *)
+  mutable vars : var_info array; (* prefix [0, nvars) is live *)
   mutable nvars : int;
   mutable rows : ((float * var) list * Simplex.sense * float) list; (* reversed *)
   mutable nrows : int;
   mutable frozen : bool;
 }
 
+let dummy_var = { lb = 0.0; ub = 0.0; obj = 0.0; name = "" }
+
 let create ?(direction = Maximize) () =
-  { direction; vars = []; nvars = 0; rows = []; nrows = 0; frozen = false }
+  { direction; vars = [||]; nvars = 0; rows = []; nrows = 0; frozen = false }
 
 let check_open t name = if t.frozen then invalid_arg (name ^ ": problem already solved")
 
@@ -28,7 +30,12 @@ let add_var ?(lb = 0.0) ?(ub = infinity) ?(obj = 0.0) ?name t =
   if lb > ub then invalid_arg "Problem.add_var: lb > ub";
   let id = t.nvars in
   let name = match name with Some n -> n | None -> Printf.sprintf "x%d" id in
-  t.vars <- { lb; ub; obj; name } :: t.vars;
+  if t.nvars = Array.length t.vars then begin
+    let grown = Array.make (max 8 (2 * t.nvars)) dummy_var in
+    Array.blit t.vars 0 grown 0 t.nvars;
+    t.vars <- grown
+  end;
+  t.vars.(t.nvars) <- { lb; ub; obj; name };
   t.nvars <- t.nvars + 1;
   id
 
@@ -49,9 +56,8 @@ let n_vars t = t.nvars
 let n_constraints t = t.nrows
 
 let var_name t v =
-  match List.nth_opt (List.rev t.vars) v with
-  | Some info -> info.name
-  | None -> invalid_arg "Problem.var_name: unknown variable"
+  if v < 0 || v >= t.nvars then invalid_arg "Problem.var_name: unknown variable"
+  else t.vars.(v).name
 
 (* Standard-form translation.
 
@@ -65,11 +71,18 @@ type mapping =
   | Shift of int * float (* x = std.(i) + offset *)
   | Split of int * int (* x = std.(i) - std.(j) *)
 
-type solver = [ `Auto | `Dense | `Bounded ]
+type solver = [ `Auto | `Dense | `Bounded | `Sparse ]
+
+(* `Auto picks `Sparse over `Bounded when the constraint matrix is
+   large and empty enough that the revised simplex's per-iteration
+   cost (O(nnz) pricing + eta-file solves) beats the dense tableau's
+   O(m·(n+m)) pivot. *)
+let sparse_min_cells = 4096
+let sparse_max_density = 0.25
 
 let solve ?(solver = `Auto) ?eps ?max_iters t =
   t.frozen <- true;
-  let vars = Array.of_list (List.rev t.vars) in
+  let vars = Array.sub t.vars 0 t.nvars in
   let nv = Array.length vars in
   let mapping = Array.make nv (Shift (0, 0.0)) in
   let nstd = ref 0 in
@@ -98,7 +111,7 @@ let solve ?(solver = `Auto) ?eps ?max_iters t =
           c.(jp) <- c.(jp) +. (sign *. obj);
           c.(jm) <- c.(jm) -. (sign *. obj))
     vars;
-  (* Constraint rows. *)
+  (* Dense row expansion — only for the `Dense / `Bounded paths. *)
   let expand terms =
     let coefs = Array.make n 0.0 and const = ref 0.0 in
     List.iter
@@ -113,55 +126,110 @@ let solve ?(solver = `Auto) ?eps ?max_iters t =
       terms;
     (coefs, !const)
   in
-  let rows = ref [] in
-  List.iter
-    (fun (terms, sense, rhs) ->
-      let coefs, const = expand terms in
-      rows := (coefs, sense, rhs -. const) :: !rows)
-    t.rows;
-  (* The bounded solver handles [0 <= y <= u] natively when every row
-     is a <= with non-negative (shift-adjusted) rhs and no variable was
-     split; otherwise upper bounds become extra rows for the dense
-     solver. *)
+  (* Shape test without densifying: the bounded/sparse solvers handle
+     [0 <= y <= u] natively when every row is a <= with non-negative
+     (shift-adjusted) rhs and no variable was split. *)
+  let row_const terms =
+    List.fold_left
+      (fun acc (coef, v) ->
+        match mapping.(v) with Shift (_, off) -> acc +. (coef *. off) | Split _ -> acc)
+      0.0 terms
+  in
   let bounded_ok =
     Array.for_all (fun m -> match m with Shift _ -> true | Split _ -> false) mapping
-    && List.for_all (fun (_, sense, rhs) -> sense = Simplex.Le && rhs >= 0.0) !rows
+    && List.for_all
+         (fun (terms, sense, rhs) -> sense = Simplex.Le && rhs -. row_const terms >= 0.0)
+         t.rows
   in
-  let use_bounded =
+  let bounded_shape_msg name =
+    Printf.sprintf "Problem.solve: %s requires <= rows, non-negative rhs, no free vars" name
+  in
+  let choice =
     match solver with
+    | `Dense -> `Dense
     | `Bounded ->
-        if not bounded_ok then
-          invalid_arg "Problem.solve: `Bounded requires <= rows, non-negative rhs, no free vars";
-        true
-    | `Dense -> false
-    | `Auto -> bounded_ok
+        if not bounded_ok then invalid_arg (bounded_shape_msg "`Bounded");
+        `Bounded
+    | `Sparse ->
+        if not bounded_ok then invalid_arg (bounded_shape_msg "`Sparse");
+        `Sparse
+    | `Auto ->
+        if not bounded_ok then `Dense
+        else if t.nrows * n >= sparse_min_cells then begin
+          let nnz =
+            List.fold_left (fun acc (terms, _, _) -> acc + List.length terms) 0 t.rows
+          in
+          let density = float_of_int nnz /. (float_of_int t.nrows *. float_of_int n) in
+          if density <= sparse_max_density then `Sparse else `Bounded
+        end
+        else `Bounded
+  in
+  let native_upper () =
+    let upper = Array.make n infinity in
+    Array.iteri
+      (fun i { ub; _ } ->
+        match mapping.(i) with
+        | Shift (j, off) -> upper.(j) <- ub -. off
+        | Split _ -> assert false)
+      vars;
+    upper
   in
   let outcome =
-    if use_bounded then begin
-      let upper = Array.make n infinity in
-      Array.iteri
-        (fun i { ub; _ } ->
-          match mapping.(i) with
-          | Shift (j, off) -> upper.(j) <- ub -. off
-          | Split _ -> assert false)
-        vars;
-      let brows = List.map (fun (coefs, _, rhs) -> (coefs, rhs)) !rows in
-      match Bounded.solve ?eps ?max_iters ~c ~upper ~rows:brows () with
-      | Bounded.Optimal { objective; solution } -> Simplex.Optimal { objective; solution }
-      | Bounded.Unbounded -> Simplex.Unbounded
-      | Bounded.Iteration_limit -> Simplex.Iteration_limit
-    end
-    else begin
-      (* Finite upper bounds as explicit rows. *)
-      Array.iteri
-        (fun i { ub; _ } ->
-          if ub < infinity then begin
-            let coefs, const = expand [ (1.0, i) ] in
-            rows := (coefs, Simplex.Le, ub -. const) :: !rows
-          end)
-        vars;
-      Simplex.solve ?eps ?max_iters ~c ~rows:!rows ()
-    end
+    match choice with
+    | `Sparse ->
+        (* Build CSC storage straight from the term lists — no
+           densification.  [t.rows] is reversed, so row [k] of the list
+           is constraint [nrows - 1 - k]; duplicate terms may produce
+           duplicate (row, coef) entries, which the solver sums. *)
+        let m = t.nrows in
+        let srhs = Array.make m 0.0 in
+        let cols = Array.make n [] in
+        List.iteri
+          (fun k (terms, _, rhs) ->
+            let i = m - 1 - k in
+            let const = ref 0.0 in
+            List.iter
+              (fun (coef, v) ->
+                match mapping.(v) with
+                | Shift (j, off) ->
+                    cols.(j) <- (i, coef) :: cols.(j);
+                    const := !const +. (coef *. off)
+                | Split _ -> assert false)
+              terms;
+            srhs.(i) <- rhs -. !const)
+          t.rows;
+        (match Sparse.solve ?eps ?max_iters ~c ~upper:(native_upper ()) ~rhs:srhs ~cols () with
+        | Sparse.Optimal { objective; solution } -> Simplex.Optimal { objective; solution }
+        | Sparse.Unbounded -> Simplex.Unbounded
+        | Sparse.Iteration_limit -> Simplex.Iteration_limit)
+    | `Bounded ->
+        let brows =
+          List.rev_map
+            (fun (terms, _, rhs) ->
+              let coefs, const = expand terms in
+              (coefs, rhs -. const))
+            t.rows
+        in
+        (match Bounded.solve ?eps ?max_iters ~c ~upper:(native_upper ()) ~rows:brows () with
+        | Bounded.Optimal { objective; solution } -> Simplex.Optimal { objective; solution }
+        | Bounded.Unbounded -> Simplex.Unbounded
+        | Bounded.Iteration_limit -> Simplex.Iteration_limit)
+    | `Dense ->
+        let rows = ref [] in
+        List.iter
+          (fun (terms, sense, rhs) ->
+            let coefs, const = expand terms in
+            rows := (coefs, sense, rhs -. const) :: !rows)
+          t.rows;
+        (* Finite upper bounds as explicit rows. *)
+        Array.iteri
+          (fun i { ub; _ } ->
+            if ub < infinity then begin
+              let coefs, const = expand [ (1.0, i) ] in
+              rows := (coefs, Simplex.Le, ub -. const) :: !rows
+            end)
+          vars;
+        Simplex.solve ?eps ?max_iters ~c ~rows:!rows ()
   in
   match outcome with
   | Simplex.Optimal { solution; _ } ->

@@ -42,14 +42,19 @@ val n_constraints : t -> int
 
 val var_name : t -> var -> string
 
-type solver = [ `Auto | `Dense | `Bounded ]
+type solver = [ `Auto | `Dense | `Bounded | `Sparse ]
 (** [`Dense] is the two-phase row simplex ({!Simplex}: any
     constraints); [`Bounded] the bounded-variable simplex
     ({!Bounded}: only [≤] rows feasible at the lower-bound origin,
-    but upper bounds cost no extra rows); [`Auto] picks [`Bounded]
-    when the problem shape allows and [`Dense] otherwise. *)
+    but upper bounds cost no extra rows); [`Sparse] the
+    bounded-variable {e revised} simplex ({!Sparse}: same shape as
+    [`Bounded], but column-wise sparse storage built straight from the
+    term lists and an eta-file basis inverse — no tableau).  [`Auto]
+    picks [`Dense] when the shape demands it, [`Sparse] when the
+    constraint matrix is large ([rows × cols ≥ 4096]) and sparse
+    (density ≤ 0.25), and [`Bounded] otherwise. *)
 
 val solve : ?solver:solver -> ?eps:float -> ?max_iters:int -> t -> solution
 (** Solves the problem.  The builder is frozen afterwards.
-    @raise Invalid_argument if [`Bounded] is forced on a problem
-    outside its shape. *)
+    @raise Invalid_argument if [`Bounded] or [`Sparse] is forced on a
+    problem outside its shape. *)

@@ -1,0 +1,39 @@
+(** Sparse bounded-variable revised simplex.
+
+    Solves [max c·x  s.t.  A x ≤ rhs,  0 ≤ x ≤ upper] — the same shape
+    as {!Bounded} — but stores [A] column-wise as sparse (row, coef)
+    lists and never materializes a tableau.  The basis inverse is kept
+    in product form (an eta file) with periodic refactorization, so one
+    iteration costs O(nnz) plus the eta-file work instead of the dense
+    tableau's O(m·(n+m)).  Pricing is Dantzig over a candidate list
+    (partial pricing) with a Bland fallback against cycling.
+
+    Flow LPs (one column per interaction, one row per distinct sending
+    timestamp, ±1 coefficients) are the intended workload; any
+    origin-feasible box-constrained LP fits. *)
+
+type outcome =
+  | Optimal of { objective : float; solution : float array }
+  | Unbounded
+  | Iteration_limit
+
+val solve :
+  ?eps:float ->
+  ?max_iters:int ->
+  ?refactor_every:int ->
+  c:float array ->
+  upper:float array ->
+  rhs:float array ->
+  cols:(int * float) list array ->
+  unit ->
+  outcome
+(** [solve ~c ~upper ~rhs ~cols ()] maximizes [c·x] subject to
+    [A x ≤ rhs] and [0 ≤ x ≤ upper], where column [j] of [A] is given
+    by [cols.(j)] as a list of [(row, coef)] pairs.  Duplicate [(row,
+    coef)] entries within a column are summed.  [rhs] entries must be
+    non-negative (the origin must be feasible, as in {!Bounded}) and
+    [upper] entries non-negative ([infinity] allowed).
+    [refactor_every] bounds the eta-file length between
+    refactorizations (default 64; mainly a testing knob).
+    @raise Invalid_argument on arity mismatches, negative [rhs] or
+    [upper], or out-of-range row indices. *)

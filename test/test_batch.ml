@@ -1,0 +1,97 @@
+(* The multicore batch driver: parallel results must be exactly the
+   sequential ones, across job/chunk shapes, with exceptions
+   propagated. *)
+
+open Tin_testlib
+module Batch = Tin_core.Batch
+module Pipeline = Tin_core.Pipeline
+module Prng = Tin_util.Prng
+
+let test_map_matches_sequential () =
+  let items = Array.init 37 (fun i -> i) in
+  let f x = (x * x) + 1 in
+  let expected = Array.map f items in
+  List.iter
+    (fun (jobs, chunk) ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "jobs=%d chunk=%d" jobs chunk)
+        expected
+        (Batch.map ~jobs ~chunk f items))
+    [ (1, 4); (2, 1); (2, 4); (3, 5); (4, 2); (8, 3); (64, 4) ]
+
+let test_map_empty () =
+  Alcotest.(check (array int)) "empty" [||] (Batch.map ~jobs:4 (fun x -> x) [||])
+
+let test_map_default_jobs () =
+  let items = Array.init 10 string_of_int in
+  Alcotest.(check (array string)) "defaults" items (Batch.map (fun s -> s) items)
+
+exception Boom of int
+
+let test_map_propagates_exception () =
+  let items = Array.init 20 (fun i -> i) in
+  try
+    ignore (Batch.map ~jobs:4 ~chunk:2 (fun i -> if i = 13 then raise (Boom i) else i) items);
+    Alcotest.fail "expected Boom"
+  with Boom i -> Alcotest.(check int) "failing item" 13 i
+
+let test_map_bad_args () =
+  List.iter
+    (fun f -> try ignore (f ()); Alcotest.fail "expected Invalid_argument" with
+      | Invalid_argument _ -> ())
+    [
+      (fun () -> Batch.map ~jobs:0 (fun x -> x) [| 1 |]);
+      (fun () -> Batch.map ~chunk:0 (fun x -> x) [| 1 |]);
+    ]
+
+let test_max_flows_matches_sequential () =
+  let rng = Prng.create ~seed:7 in
+  let problems =
+    List.init 24 (fun _ ->
+        let graph, source, sink = Gen.random_dag rng in
+        { Batch.graph; source; sink })
+  in
+  let sequential =
+    List.map
+      (fun (p : Batch.problem) ->
+        Pipeline.compute Pipeline.Pre_sim p.Batch.graph ~source:p.Batch.source ~sink:p.Batch.sink)
+      problems
+  in
+  List.iter
+    (fun jobs ->
+      let parallel = Batch.max_flows ~jobs ~chunk:2 problems in
+      List.iteri
+        (fun i (a, b) -> Check.check_flow (Printf.sprintf "jobs=%d problem %d" jobs i) a b)
+        (List.combine sequential parallel))
+    [ 1; 2; 4 ]
+
+let test_max_flows_solver_and_method () =
+  let rng = Prng.create ~seed:11 in
+  let problems =
+    List.init 12 (fun _ ->
+        let graph, source, sink = Gen.random_dag rng in
+        { Batch.graph; source; sink })
+  in
+  let via_lp_sparse = Batch.max_flows ~jobs:3 ~solver:`Sparse ~method_:Pipeline.Lp problems in
+  let via_presim = Batch.max_flows ~jobs:3 problems in
+  List.iteri
+    (fun i (a, b) -> Check.check_flow (Printf.sprintf "problem %d" i) a b)
+    (List.combine via_presim via_lp_sparse)
+
+let () =
+  Alcotest.run "batch"
+    [
+      ( "map",
+        [
+          Alcotest.test_case "matches sequential" `Quick test_map_matches_sequential;
+          Alcotest.test_case "empty input" `Quick test_map_empty;
+          Alcotest.test_case "default jobs" `Quick test_map_default_jobs;
+          Alcotest.test_case "exception propagation" `Quick test_map_propagates_exception;
+          Alcotest.test_case "argument validation" `Quick test_map_bad_args;
+        ] );
+      ( "max_flows",
+        [
+          Alcotest.test_case "matches sequential pipeline" `Quick test_max_flows_matches_sequential;
+          Alcotest.test_case "solver/method knobs" `Quick test_max_flows_solver_and_method;
+        ] );
+    ]

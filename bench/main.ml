@@ -2,11 +2,13 @@
    paper's evaluation (Section 6) on the synthetic datasets.
 
    Usage:
-     main.exe [--quick] [--json PATH] [target ...]
+     main.exe [--quick] [--json PATH] [--pattern-json PATH] [target ...]
    Targets: table4 table5 table6 table7 table8 figure11 table9 table10
    table11 flows patterns micro solvers all (default: all).
    --json sets the output path of the solver benchmark's
-   machine-readable results (default: BENCH_flow.json). *)
+   machine-readable results (default: BENCH_flow.json);
+   --pattern-json does the same for the pattern-search jobs sweep
+   (default: BENCH_pattern.json, written by the patterns target). *)
 
 let known_targets =
   [
@@ -23,11 +25,15 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let quick = List.mem "--quick" args in
   let json = ref "BENCH_flow.json" in
+  let pattern_json = ref "BENCH_pattern.json" in
   let rec strip = function
     | "--json" :: path :: rest ->
         json := path;
         strip rest
-    | [ "--json" ] -> usage ()
+    | "--pattern-json" :: path :: rest ->
+        pattern_json := path;
+        strip rest
+    | [ "--json" ] | [ "--pattern-json" ] -> usage ()
     | a :: rest -> a :: strip rest
     | [] -> []
   in
@@ -95,6 +101,12 @@ let () =
         Pattern_bench.run_dataset scale
           (List.find (fun d -> d.Workload.pattern_table_id = table_id) datasets))
     [ ("table9", 9); ("table10", 10); ("table11", 11) ];
+  if wants "patterns" then begin
+    Pattern_bench.run_sweep ~json:!pattern_json
+      ~scale_name:(if quick then "quick" else "full")
+      scale datasets;
+    print_newline ()
+  end;
   if wants "ablation" then Ablation.run datasets;
   if wants "sweep" then Sweep.run ();
   if wants "solvers" then begin

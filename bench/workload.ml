@@ -16,6 +16,9 @@ type scale = {
   lp_pattern_limit : int;
       (** Instance cap for the LP-per-instance patterns (P4/P6) — the
           paper likewise truncated those at 3000 instances. *)
+  gb_budget_ms : float;
+      (** Wall-clock budget per graph-browsing run; runs that exceed
+          it are extrapolated like the paper's "(est.)" entries. *)
 }
 
 let full =
@@ -25,6 +28,7 @@ let full =
     max_subgraphs = 400;
     gb_limit = 300_000;
     lp_pattern_limit = 3000;
+    gb_budget_ms = 20_000.0;
   }
 
 let quick =
@@ -34,6 +38,7 @@ let quick =
     max_subgraphs = 60;
     gb_limit = 20_000;
     lp_pattern_limit = 500;
+    gb_budget_ms = 3_000.0;
   }
 
 type dataset = {

@@ -248,20 +248,43 @@ let patterns_cmd =
   let use_pb =
     Arg.(value & flag & info [ "precompute" ] ~doc:"Use the precomputation-based search (path tables) instead of graph browsing.")
   in
-  let run file which custom limit use_pb =
+  let hybrid =
+    Arg.(value & flag & info [ "hybrid" ] ~doc:"Graph browsing with table-assisted flow lookups: chain/cycle instances read their flow from the precomputed path tables instead of re-solving each match.  Ignored with $(b,--precompute).")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Shard the search by anchor vertex across N domains (cores).  Default 1; untruncated results are identical for every N.")
+  in
+  let time_budget =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "time-budget-ms" ] ~docv:"MS"
+          ~doc:"Wall-clock budget per pattern; searches past it stop early and are marked with '*'.")
+  in
+  let run file which custom limit use_pb hybrid jobs time_budget =
     setup_logs ();
+    (match jobs with
+    | Some j when j < 1 ->
+        prerr_endline "tinflow: --jobs must be positive";
+        exit 2
+    | _ -> ());
+    let jobs = Option.value jobs ~default:1 in
     let net = Io.load_csv file in
     let which = if which = [] && custom = [] then Catalog.all else which in
     let tables =
-      if use_pb then Some (Catalog.precompute ~with_chains:true net) else None
+      if use_pb || hybrid then Some (Catalog.precompute ~jobs ~with_chains:true net) else None
     in
     let rows =
       List.map
         (fun p ->
           let r =
-            match tables with
-            | Some t -> Catalog.pb ~limit net t p
-            | None -> Catalog.gb ~limit net p
+            if use_pb then
+              Catalog.pb ~jobs ~limit ?time_budget_ms:time_budget net (Option.get tables) p
+            else Catalog.gb ~jobs ~limit ?time_budget_ms:time_budget ?tables net p
           in
           [
             (Catalog.pattern_name p ^ if r.Catalog.truncated then "*" else "");
@@ -275,7 +298,11 @@ let patterns_cmd =
       List.map
         (fun text ->
           let p = Tin_patterns.Pattern.of_string text in
-          let r = Catalog.gb_custom ~limit net p in
+          let r =
+            Catalog.gb_custom ~jobs ~limit ?time_budget_ms:time_budget
+              ?tables:(if use_pb then None else tables)
+              net p
+          in
           [
             (text ^ if r.Catalog.truncated then "*" else "");
             string_of_int r.Catalog.instances;
@@ -285,14 +312,16 @@ let patterns_cmd =
         custom
     in
     Table.print
-      ~title:(Printf.sprintf "Pattern instances in %s (%s)" file (if use_pb then "PB" else "GB"))
+      ~title:
+        (Printf.sprintf "Pattern instances in %s (%s)" file
+           (if use_pb then "PB" else if hybrid then "GB hybrid" else "GB"))
       ~header:[ "Pattern"; "Instances"; "Avg flow"; "Total flow" ]
       (rows @ custom_rows);
     0
   in
   Cmd.v
     (Cmd.info "patterns" ~doc:"Enumerate flow patterns and their maximum flows")
-    Term.(const run $ file_arg $ which $ custom $ limit $ use_pb)
+    Term.(const run $ file_arg $ which $ custom $ limit $ use_pb $ hybrid $ jobs $ time_budget)
 
 (* --- generate --- *)
 

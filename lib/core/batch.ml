@@ -48,6 +48,67 @@ let map ?jobs ?(chunk = 4) f items =
       results
   end
 
+(* Order-preserving parallel reduce over an index range.  Indices are
+   grouped into fixed-size chunks claimed from one atomic cursor; each
+   chunk folds into its own fresh accumulator, and the chunk
+   accumulators merge left-to-right in index order after all domains
+   join.  Because the chunk layout depends only on [n] and [chunk] —
+   never on [jobs] or on claim timing — the merged result is
+   bit-identical for every job count (floating-point accumulation
+   order included), as long as [body] itself is deterministic per
+   index.  [stop] makes the reduce cooperative: once set, no further
+   chunk is claimed and the per-index loop stops early; already-folded
+   chunk accumulators still merge, so partial results survive. *)
+let map_reduce ?jobs ?(chunk = 16) ?stop ~n ~init ~body ~merge () =
+  if chunk < 1 then invalid_arg "Batch.map_reduce: chunk must be positive";
+  if n < 0 then invalid_arg "Batch.map_reduce: negative range";
+  let n_chunks = (n + chunk - 1) / chunk in
+  let jobs =
+    match jobs with
+    | Some j -> if j < 1 then invalid_arg "Batch.map_reduce: jobs must be positive" else j
+    | None -> max 1 (min (recommended_jobs ()) n_chunks)
+  in
+  if n_chunks = 0 then init ()
+  else begin
+    let stopped () = match stop with None -> false | Some s -> Atomic.get s in
+    let slots = Array.make n_chunks None in
+    let cursor = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        if not (stopped ()) then begin
+          let c = Atomic.fetch_and_add cursor 1 in
+          if c < n_chunks then begin
+            let hi = min n ((c + 1) * chunk) in
+            (match
+               let acc = init () in
+               let i = ref (c * chunk) in
+               while !i < hi && not (stopped ()) do
+                 body acc !i;
+                 incr i
+               done;
+               acc
+             with
+            | acc -> slots.(c) <- Some (Ok acc)
+            | exception e -> slots.(c) <- Some (Error (e, Printexc.get_raw_backtrace ())));
+            loop ()
+          end
+        end
+      in
+      loop ()
+    in
+    let helpers = List.init (min jobs n_chunks - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join helpers;
+    let acc = ref None in
+    Array.iter
+      (function
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | Some (Ok a) -> acc := Some (match !acc with None -> a | Some m -> merge m a)
+        | None -> () (* skipped after [stop] *))
+      slots;
+    match !acc with None -> init () | Some a -> a
+  end
+
 let max_flows ?jobs ?chunk ?solver ?(method_ = Pipeline.Pre_sim) problems =
   map ?jobs ?chunk
     (fun { graph; source; sink } -> Pipeline.compute ?solver method_ graph ~source ~sink)

@@ -37,3 +37,30 @@ val max_flows :
     [method_] defaults to {!Pipeline.Pre_sim}; [solver] is passed to
     the LP stages (default [`Auto]).
     @raise Pipeline.Solver_failure as {!Pipeline.compute}. *)
+
+val map_reduce :
+  ?jobs:int ->
+  ?chunk:int ->
+  ?stop:bool Atomic.t ->
+  n:int ->
+  init:(unit -> 'acc) ->
+  body:('acc -> int -> unit) ->
+  merge:('acc -> 'acc -> 'acc) ->
+  unit ->
+  'acc
+(** [map_reduce ~n ~init ~body ~merge ()] folds the index range
+    [0 .. n-1] in parallel: indices are grouped into [chunk]-sized
+    blocks handed out from an atomic cursor, every block folds into a
+    fresh [init ()] accumulator via [body], and block accumulators are
+    combined with [merge] {e in index order} after all domains join.
+    The chunk layout depends only on [n] and [chunk], so for a
+    deterministic [body] the result is bit-identical across job counts
+    — including floating-point accumulation order.  [stop], when
+    provided and set (by [body] itself or by another domain), ends the
+    reduce cooperatively: no further chunk is claimed, the in-flight
+    per-index loops finish their current index and stop, and the
+    accumulators folded so far still merge.  If any [body] call
+    raises, the first exception in index order is re-raised after all
+    domains drain.  [n = 0] returns [init ()].
+    @raise Invalid_argument if [jobs] or [chunk] is not positive or
+    [n] is negative. *)

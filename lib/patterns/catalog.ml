@@ -1,6 +1,7 @@
 module Endpoints = Tin_core.Endpoints
 module Pipeline = Tin_core.Pipeline
 module Simplify = Tin_core.Simplify
+module Batch = Tin_core.Batch
 
 type rigid = P1 | P2 | P3 | P4 | P5 | P6
 type relaxed = RP1 | RP2 | RP3
@@ -44,71 +45,124 @@ let avg_flow r = if r.instances = 0 then 0.0 else r.total_flow /. float_of_int r
 
 type tables = { l2 : Tables.t; l3 : Tables.t; c2 : Tables.t option }
 
-let precompute ?(with_chains = false) net =
+let precompute ?jobs ?(with_chains = false) net =
   {
-    l2 = Tables.cycles2 net;
-    l3 = Tables.cycles3 net;
-    c2 = (if with_chains then Some (Tables.chains2 net) else None);
+    l2 = Tables.cycles2 ?jobs net;
+    l3 = Tables.cycles3 ?jobs net;
+    c2 = (if with_chains then Some (Tables.chains2 ?jobs net) else None);
   }
 
-(* Accumulator with early termination on an instance limit or a
-   wall-clock deadline. *)
-type acc = {
-  mutable count : int;
-  mutable flow : float;
-  mutable truncated : bool;
-  mutable timed_out : bool;
+(* ------------------------------------------------------------------ *)
+(* Shared search state                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Both searches shard the anchor range (pattern vertex 0) across
+   domains with [Batch.map_reduce].  A shared atomic ticket counter
+   enforces the global instance limit; [stop] winds every domain down
+   cooperatively on truncation or deadline, and the flag atomics
+   record why.  Each chunk of anchors folds into a private [local]
+   accumulator, and chunk accumulators merge in anchor order, so an
+   untruncated search returns bit-identical results for every job
+   count. *)
+type shared = {
   limit : int;
   deadline : int64 option; (* monotonic ns *)
+  tickets : int Atomic.t;
+  stop : bool Atomic.t;
+  truncated : bool Atomic.t;
+  timed_out : bool Atomic.t;
 }
 
-let fresh_acc ?time_budget_ms limit =
+type local = { mutable count : int; mutable flow : float }
+
+let make_shared ?time_budget_ms limit =
   let deadline =
     Option.map
       (fun ms -> Int64.add (Tin_util.Timer.now_ns ()) (Int64.of_float (ms *. 1e6)))
       time_budget_ms
   in
-  { count = 0; flow = 0.0; truncated = false; timed_out = false; limit; deadline }
+  {
+    limit;
+    deadline;
+    tickets = Atomic.make 0;
+    stop = Atomic.make false;
+    truncated = Atomic.make false;
+    timed_out = Atomic.make false;
+  }
 
 exception Done
 
-let expired acc =
-  match acc.deadline with
+let expired sh =
+  match sh.deadline with
   | Some d when Tin_util.Timer.now_ns () > d -> true
   | _ -> false
 
-(* For polling inside dry spells (no instances found for a while). *)
-let stopper acc =
+let time_out sh =
+  Atomic.set sh.truncated true;
+  Atomic.set sh.timed_out true;
+  Atomic.set sh.stop true
+
+let truncate sh =
+  Atomic.set sh.truncated true;
+  Atomic.set sh.stop true
+
+(* Unmasked stop check — for [Pattern.browse], which rate-limits its
+   own polling. *)
+let check_stop sh () =
+  if Atomic.get sh.stop then true
+  else if expired sh then begin
+    time_out sh;
+    true
+  end
+  else false
+
+(* Self-masked variant for hand-rolled join loops (polling inside dry
+   spells, when no instance is found for a while). *)
+let stopper sh =
   let probes = ref 0 in
   fun () ->
     incr probes;
-    if !probes land 0xFFF <> 0 then false
-    else if expired acc then begin
-      acc.truncated <- true;
-      acc.timed_out <- true;
-      true
-    end
-    else false
+    if !probes land 0xFFF <> 0 then false else check_stop sh ()
 
-let add acc f =
-  acc.count <- acc.count + 1;
-  acc.flow <- acc.flow +. f;
-  if acc.count >= acc.limit then begin
-    acc.truncated <- true;
+let add sh local f =
+  let ticket = Atomic.fetch_and_add sh.tickets 1 in
+  if ticket >= sh.limit then begin
+    (* Another domain's instance already consumed the last slot. *)
+    truncate sh;
     raise Done
   end;
-  if expired acc then begin
-    acc.truncated <- true;
-    acc.timed_out <- true;
+  local.count <- local.count + 1;
+  local.flow <- local.flow +. f;
+  if ticket = sh.limit - 1 then begin
+    truncate sh;
+    raise Done
+  end;
+  if expired sh then begin
+    time_out sh;
     raise Done
   end
 
-let finish acc =
+(* Chunk size for anchor sharding: fixed (never derived from [jobs])
+   so that the merge tree — and hence float accumulation order — is
+   the same for every job count. *)
+let anchor_chunk = 16
+
+(* Run [body local anchor] over every anchor and merge.  [Done] aborts
+   one anchor's walk; the shared [stop] flag then keeps the remaining
+   anchors from doing any real work. *)
+let search ?jobs sh ~n body =
+  let merged =
+    Batch.map_reduce ?jobs ~chunk:anchor_chunk ~stop:sh.stop ~n
+      ~init:(fun () -> { count = 0; flow = 0.0 })
+      ~body:(fun local a -> try body local a with Done -> ())
+      ~merge:(fun a b -> { count = a.count + b.count; flow = a.flow +. b.flow })
+      ()
+  in
   {
-    instances = acc.count;
-    total_flow = acc.flow;
-    truncated = acc.truncated;
-    timed_out = acc.timed_out;
+    instances = merged.count;
+    total_flow = merged.flow;
+    truncated = Atomic.get sh.truncated;
+    timed_out = Atomic.get sh.timed_out;
   }
 
 (* Greedy flow along a free-standing chain of edges given by edge ids
@@ -130,85 +184,135 @@ let cyclic_instance_flow net eids ~anchor =
 (* Graph browsing                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let gb_custom ?(limit = max_int) ?time_budget_ms net pat =
-  let acc = fresh_acc ?time_budget_ms limit in
-  (try
-     Pattern.browse
-       ~should_stop:(fun () ->
-         if expired acc then begin
-           acc.truncated <- true;
-           acc.timed_out <- true;
-           true
-         end
-         else false)
-       net pat
-       (fun mu -> add acc (Pattern.instance_flow net pat mu))
-   with Done -> ());
-  finish acc
+(* Hybrid mode (GB + tables, after Semertzidis & Pitoura's hybrid
+   temporal pattern matching): when the pattern's edges form the
+   single path 0→1→…→n-1, every instance found by browsing maps onto
+   exactly one precomputed row — a 2/3-cycle when source and sink
+   share a label, a 2-hop chain otherwise — so the per-instance flow
+   is an O(log) table lookup instead of a subgraph rebuild plus a
+   greedy/LP solve. *)
+let simple_shape (pat : Pattern.t) =
+  let path = List.init (pat.Pattern.n - 1) (fun i -> (i, i + 1)) in
+  if List.sort compare pat.Pattern.edges <> path then `General
+  else if Pattern.is_cyclic_shape pat then
+    match pat.Pattern.n with 3 -> `Cycle2 | 4 -> `Cycle3 | _ -> `General
+  else if pat.Pattern.n = 3 then `Chain2
+  else `General
 
-let gb_rigid ?limit ?time_budget_ms net r =
-  gb_custom ?limit ?time_budget_ms net (rigid_pattern r)
+let instance_flow_fn ?tables net pat =
+  let fallback mu = Pattern.instance_flow net pat mu in
+  let lookup tbl key_of mu =
+    match Tables.find tbl (key_of mu) with Some r -> r.Tables.flow | None -> fallback mu
+  in
+  match tables with
+  | None -> fallback
+  | Some tb -> (
+      match simple_shape pat with
+      | `Cycle2 -> lookup tb.l2 (fun mu -> [| mu.(0); mu.(1) |])
+      | `Cycle3 -> lookup tb.l3 (fun mu -> [| mu.(0); mu.(1); mu.(2) |])
+      | `Chain2 -> (
+          match tb.c2 with
+          | Some c2 -> lookup c2 (fun mu -> [| mu.(0); mu.(1); mu.(2) |])
+          | None -> fallback)
+      | `General -> fallback)
+
+(* P5 is the one composite catalog shape the tables still cover: its
+   instance is a 2-cycle [a→b→a] and a 3-cycle [a→c→e→a] joined only
+   at the anchor, whose flows add (Lemma 2 after the split) — the same
+   decomposition the PB merge-join uses. *)
+let p5_hybrid_flow net tb pat mu =
+  match
+    (Tables.find tb.l2 [| mu.(0); mu.(1) |], Tables.find tb.l3 [| mu.(0); mu.(2); mu.(3) |])
+  with
+  | Some r2, Some r3 -> r2.Tables.flow +. r3.Tables.flow
+  | _ -> Pattern.instance_flow net pat mu
+
+let gb_browse ?jobs ?(limit = max_int) ?time_budget_ms net pat flow_of =
+  let sh = make_shared ?time_budget_ms limit in
+  let body local a =
+    Pattern.browse ~should_stop:(check_stop sh) ~anchor:a net pat
+      (fun mu -> add sh local (flow_of mu))
+  in
+  search ?jobs sh ~n:(Static.n_vertices net) body
+
+let gb_custom ?jobs ?limit ?time_budget_ms ?tables net pat =
+  gb_browse ?jobs ?limit ?time_budget_ms net pat (instance_flow_fn ?tables net pat)
+
+let gb_rigid ?jobs ?limit ?time_budget_ms ?tables net r =
+  let pat = rigid_pattern r in
+  let flow_of =
+    match (r, tables) with
+    | P5, Some tb -> p5_hybrid_flow net tb pat
+    | _ -> instance_flow_fn ?tables net pat
+  in
+  gb_browse ?jobs ?limit ?time_budget_ms net pat flow_of
 
 (* Relaxed patterns aggregate the flows of all short paths per anchor
    (Section 5.3): one instance per anchor (RP2/RP3) or per endpoint
    pair (RP1). *)
-let gb_relaxed ?(limit = max_int) ?time_budget_ms net r =
-  let acc = fresh_acc ?time_budget_ms limit in
-  let stop = stopper acc in
-  let poll () = if stop () then raise Done in
-  let n = Static.n_vertices net in
-  (try
-     match r with
-     | RP2 ->
-         for a = 0 to n - 1 do
-           let flow = ref 0.0 and found = ref false in
-           Static.iter_succs net a (fun b e_ab ->
-               poll ();
-               match Static.find_edge net ~src:b ~dst:a with
-               | Some e_ba ->
-                   found := true;
-                   flow := !flow +. chain_flow net [ e_ab; e_ba ]
-               | None -> ());
-           if !found then add acc !flow
-         done
-     | RP3 ->
-         for a = 0 to n - 1 do
-           let flow = ref 0.0 and found = ref false in
-           Static.iter_succs net a (fun b e_ab ->
-               if b <> a then
-                 Static.iter_succs net b (fun c e_bc ->
-                     poll ();
-                     if c <> a && c <> b then
-                       match Static.find_edge net ~src:c ~dst:a with
-                       | Some e_ca ->
-                           found := true;
-                           flow := !flow +. chain_flow net [ e_ab; e_bc; e_ca ]
-                       | None -> ()));
-           if !found then add acc !flow
-         done
-     | RP1 ->
-         for a = 0 to n - 1 do
-           (* Aggregate 2-hop chain flows per final vertex c. *)
-           let per_c = Hashtbl.create 16 in
-           Static.iter_succs net a (fun b e_ab ->
-               Static.iter_succs net b (fun c e_bc ->
-                   poll ();
-                   if c <> a && c <> b then begin
-                     let f = chain_flow net [ e_ab; e_bc ] in
-                     let prev = Option.value ~default:0.0 (Hashtbl.find_opt per_c c) in
-                     Hashtbl.replace per_c c (prev +. f)
-                   end));
-           (* Deterministic per-c order. *)
-           Hashtbl.fold (fun c f l -> (c, f) :: l) per_c []
-           |> List.sort compare
-           |> List.iter (fun (_, f) -> add acc f)
-         done
-   with Done -> ());
-  finish acc
+let gb_relaxed ?jobs ?(limit = max_int) ?time_budget_ms net r =
+  let sh = make_shared ?time_budget_ms limit in
+  let body =
+    match r with
+    | RP2 ->
+        fun local a ->
+          let poll =
+            let stop = stopper sh in
+            fun () -> if stop () then raise Done
+          in
+          let flow = ref 0.0 and found = ref false in
+          Static.iter_succs net a (fun b e_ab ->
+              poll ();
+              match Static.find_edge net ~src:b ~dst:a with
+              | Some e_ba ->
+                  found := true;
+                  flow := !flow +. chain_flow net [ e_ab; e_ba ]
+              | None -> ());
+          if !found then add sh local !flow
+    | RP3 ->
+        fun local a ->
+          let poll =
+            let stop = stopper sh in
+            fun () -> if stop () then raise Done
+          in
+          let flow = ref 0.0 and found = ref false in
+          Static.iter_succs net a (fun b e_ab ->
+              if b <> a then
+                Static.iter_succs net b (fun c e_bc ->
+                    poll ();
+                    if c <> a && c <> b then
+                      match Static.find_edge net ~src:c ~dst:a with
+                      | Some e_ca ->
+                          found := true;
+                          flow := !flow +. chain_flow net [ e_ab; e_bc; e_ca ]
+                      | None -> ()));
+          if !found then add sh local !flow
+    | RP1 ->
+        fun local a ->
+          let poll =
+            let stop = stopper sh in
+            fun () -> if stop () then raise Done
+          in
+          (* Aggregate 2-hop chain flows per final vertex c. *)
+          let per_c = Hashtbl.create 16 in
+          Static.iter_succs net a (fun b e_ab ->
+              Static.iter_succs net b (fun c e_bc ->
+                  poll ();
+                  if c <> a && c <> b then begin
+                    let f = chain_flow net [ e_ab; e_bc ] in
+                    let prev = Option.value ~default:0.0 (Hashtbl.find_opt per_c c) in
+                    Hashtbl.replace per_c c (prev +. f)
+                  end));
+          (* Deterministic per-c order. *)
+          Hashtbl.fold (fun c f l -> (c, f) :: l) per_c []
+          |> List.sort compare
+          |> List.iter (fun (_, f) -> add sh local f)
+  in
+  search ?jobs sh ~n:(Static.n_vertices net) body
 
-let gb ?limit ?time_budget_ms net = function
-  | Rigid r -> gb_rigid ?limit ?time_budget_ms net r
-  | Relaxed r -> gb_relaxed ?limit ?time_budget_ms net r
+let gb ?jobs ?limit ?time_budget_ms ?tables net = function
+  | Rigid r -> gb_rigid ?jobs ?limit ?time_budget_ms ?tables net r
+  | Relaxed r -> gb_relaxed ?jobs ?limit ?time_budget_ms net r
 
 (* ------------------------------------------------------------------ *)
 (* Precomputation-based search                                         *)
@@ -224,95 +328,107 @@ let edge_exn net ~src ~dst =
   | Some e -> e
   | None -> assert false (* table rows are real paths *)
 
-let pb ?(limit = max_int) ?time_budget_ms net tables pattern =
-  let acc = fresh_acc ?time_budget_ms limit in
-  let stop = stopper acc in
-  let poll () = if stop () then raise Done in
-  (try
-     match pattern with
-     | Rigid P1 ->
-         Array.iter (fun r -> add acc r.Tables.flow) (Tables.rows (require_chains tables))
-     | Rigid P2 -> Array.iter (fun r -> add acc r.Tables.flow) (Tables.rows tables.l2)
-     | Rigid P3 -> Array.iter (fun r -> add acc r.Tables.flow) (Tables.rows tables.l3)
-     | Rigid P4 ->
-         (* 3-hop cycle + chord b→a: the precomputed flow is unusable
-            (the cycle is not isolated in the instance); the instance
-            is rebuilt and solved by the Section-4 pipeline. *)
-         Array.iter
-           (fun r ->
-             poll ();
-             let a = r.Tables.verts.(0) and b = r.Tables.verts.(1) and c = r.Tables.verts.(2) in
-             match Static.find_edge net ~src:b ~dst:a with
-             | Some e_ba ->
-                 let eids =
-                   [
-                     edge_exn net ~src:a ~dst:b;
-                     edge_exn net ~src:b ~dst:c;
-                     edge_exn net ~src:c ~dst:a;
-                     e_ba;
-                   ]
-                 in
-                 add acc (cyclic_instance_flow net eids ~anchor:a)
-             | None -> ())
-           (Tables.rows tables.l3)
-     | Rigid P5 ->
-         (* Merge-join of L2 and L3 on the anchor vertex; flows add up
-            because the two cycles are vertex-disjoint chains after the
-            split (Lemma 2 applies to the joint instance). *)
-         List.iter
-           (fun a ->
-             Tables.iter_start tables.l2 a (fun r2 ->
-                 let b = r2.Tables.verts.(1) in
-                 Tables.iter_start tables.l3 a (fun r3 ->
-                     poll ();
-                     let c = r3.Tables.verts.(1) and e = r3.Tables.verts.(2) in
-                     if b <> c && b <> e then add acc (r2.Tables.flow +. r3.Tables.flow))))
-           (Tables.starts tables.l2)
-     | Rigid P6 ->
-         Array.iter
-           (fun r ->
-             poll ();
-             let a = r.Tables.verts.(0) and b = r.Tables.verts.(1) and c = r.Tables.verts.(2) in
-             match (Static.find_edge net ~src:a ~dst:c, Static.find_edge net ~src:b ~dst:a) with
-             | Some e_ac, Some e_ba ->
-                 let eids =
-                   [
-                     edge_exn net ~src:a ~dst:b;
-                     edge_exn net ~src:b ~dst:c;
-                     edge_exn net ~src:c ~dst:a;
-                     e_ac;
-                     e_ba;
-                   ]
-                 in
-                 add acc (cyclic_instance_flow net eids ~anchor:a)
-             | _ -> ())
-           (Tables.rows tables.l3)
-     | Relaxed RP1 ->
-         let c2 = require_chains tables in
-         List.iter
-           (fun a ->
-             let per_c = Hashtbl.create 16 in
-             Tables.iter_start c2 a (fun r ->
-                 let c = r.Tables.verts.(2) in
-                 let prev = Option.value ~default:0.0 (Hashtbl.find_opt per_c c) in
-                 Hashtbl.replace per_c c (prev +. r.Tables.flow));
-             Hashtbl.fold (fun c f l -> (c, f) :: l) per_c []
-             |> List.sort compare
-             |> List.iter (fun (_, f) -> add acc f))
-           (Tables.starts c2)
-     | Relaxed RP2 ->
-         List.iter
-           (fun a ->
-             let flow = ref 0.0 in
-             Tables.iter_start tables.l2 a (fun r -> flow := !flow +. r.Tables.flow);
-             add acc !flow)
-           (Tables.starts tables.l2)
-     | Relaxed RP3 ->
-         List.iter
-           (fun a ->
-             let flow = ref 0.0 in
-             Tables.iter_start tables.l3 a (fun r -> flow := !flow +. r.Tables.flow);
-             add acc !flow)
-           (Tables.starts tables.l3)
-   with Done -> ());
-  finish acc
+(* Sum a start vertex's row flows; [false] when the vertex has no
+   rows (its anchor contributes no relaxed instance). *)
+let sum_start tbl a flow =
+  let found = ref false in
+  Tables.iter_start tbl a (fun r ->
+      found := true;
+      flow := !flow +. r.Tables.flow);
+  !found
+
+let pb ?jobs ?(limit = max_int) ?time_budget_ms net tables pattern =
+  let sh = make_shared ?time_budget_ms limit in
+  (* Per-anchor search bodies: every pattern's PB plan walks rows
+     grouped by their start vertex, so the anchor range shards it
+     exactly like GB.  Chain-table presence is checked eagerly, before
+     any domain spawns. *)
+  let body =
+    match pattern with
+    | Rigid P1 ->
+        let c2 = require_chains tables in
+        fun local a -> Tables.iter_start c2 a (fun r -> add sh local r.Tables.flow)
+    | Rigid P2 -> fun local a -> Tables.iter_start tables.l2 a (fun r -> add sh local r.Tables.flow)
+    | Rigid P3 -> fun local a -> Tables.iter_start tables.l3 a (fun r -> add sh local r.Tables.flow)
+    | Rigid P4 ->
+        (* 3-hop cycle + chord b→a: the precomputed flow is unusable
+           (the cycle is not isolated in the instance); the instance
+           is rebuilt and solved by the Section-4 pipeline. *)
+        fun local a ->
+          let poll =
+            let stop = stopper sh in
+            fun () -> if stop () then raise Done
+          in
+          Tables.iter_start tables.l3 a (fun r ->
+              poll ();
+              let b = r.Tables.verts.(1) and c = r.Tables.verts.(2) in
+              match Static.find_edge net ~src:b ~dst:a with
+              | Some e_ba ->
+                  let eids =
+                    [
+                      edge_exn net ~src:a ~dst:b;
+                      edge_exn net ~src:b ~dst:c;
+                      edge_exn net ~src:c ~dst:a;
+                      e_ba;
+                    ]
+                  in
+                  add sh local (cyclic_instance_flow net eids ~anchor:a)
+              | None -> ())
+    | Rigid P5 ->
+        (* Merge-join of L2 and L3 on the anchor vertex; flows add up
+           because the two cycles are vertex-disjoint chains after the
+           split (Lemma 2 applies to the joint instance). *)
+        fun local a ->
+          let poll =
+            let stop = stopper sh in
+            fun () -> if stop () then raise Done
+          in
+          Tables.iter_start tables.l2 a (fun r2 ->
+              let b = r2.Tables.verts.(1) in
+              Tables.iter_start tables.l3 a (fun r3 ->
+                  poll ();
+                  let c = r3.Tables.verts.(1) and e = r3.Tables.verts.(2) in
+                  if b <> c && b <> e then add sh local (r2.Tables.flow +. r3.Tables.flow)))
+    | Rigid P6 ->
+        fun local a ->
+          let poll =
+            let stop = stopper sh in
+            fun () -> if stop () then raise Done
+          in
+          Tables.iter_start tables.l3 a (fun r ->
+              poll ();
+              let b = r.Tables.verts.(1) and c = r.Tables.verts.(2) in
+              match (Static.find_edge net ~src:a ~dst:c, Static.find_edge net ~src:b ~dst:a) with
+              | Some e_ac, Some e_ba ->
+                  let eids =
+                    [
+                      edge_exn net ~src:a ~dst:b;
+                      edge_exn net ~src:b ~dst:c;
+                      edge_exn net ~src:c ~dst:a;
+                      e_ac;
+                      e_ba;
+                    ]
+                  in
+                  add sh local (cyclic_instance_flow net eids ~anchor:a)
+              | _ -> ())
+    | Relaxed RP1 ->
+        let c2 = require_chains tables in
+        fun local a ->
+          let per_c = Hashtbl.create 16 in
+          Tables.iter_start c2 a (fun r ->
+              let c = r.Tables.verts.(2) in
+              let prev = Option.value ~default:0.0 (Hashtbl.find_opt per_c c) in
+              Hashtbl.replace per_c c (prev +. r.Tables.flow));
+          Hashtbl.fold (fun c f l -> (c, f) :: l) per_c []
+          |> List.sort compare
+          |> List.iter (fun (_, f) -> add sh local f)
+    | Relaxed RP2 ->
+        fun local a ->
+          let flow = ref 0.0 in
+          if sum_start tables.l2 a flow then add sh local !flow
+    | Relaxed RP3 ->
+        fun local a ->
+          let flow = ref 0.0 in
+          if sum_start tables.l3 a flow then add sh local !flow
+  in
+  search ?jobs sh ~n:(Static.n_vertices net) body

@@ -51,18 +51,60 @@ val avg_flow : result -> float
 type tables = { l2 : Tables.t; l3 : Tables.t; c2 : Tables.t option }
 (** Precomputed tables: cycles are always built, chains optionally. *)
 
-val precompute : ?with_chains:bool -> Static.t -> tables
+val precompute : ?jobs:int -> ?with_chains:bool -> Static.t -> tables
+(** [jobs] (default 1) shards the per-start-vertex table construction
+    across OCaml domains; the tables are identical for every job
+    count. *)
 
-val gb : ?limit:int -> ?time_budget_ms:float -> Static.t -> pattern -> result
+val gb :
+  ?jobs:int ->
+  ?limit:int ->
+  ?time_budget_ms:float ->
+  ?tables:tables ->
+  Static.t ->
+  pattern ->
+  result
 (** Graph-browsing enumeration with per-instance flow computation.
     [time_budget_ms] interrupts the walk mid-search (the paper
-    likewise terminated GB early on its hardest patterns). *)
+    likewise terminated GB early on its hardest patterns).
 
-val pb : ?limit:int -> ?time_budget_ms:float -> Static.t -> tables -> pattern -> result
-(** Precomputation-based enumeration.  @raise Invalid_argument when
-    the pattern needs the chain table and [tables.c2 = None]. *)
+    [jobs] (default 1) shards the search by anchor vertex (pattern
+    vertex 0) across OCaml domains; a shared atomic instance counter
+    enforces [limit] and the deadline globally, and per-chunk results
+    merge deterministically in anchor order, so untruncated searches
+    return results identical to [jobs:1] — bit-for-bit, including
+    float accumulation.  A truncated parallel search may keep a
+    different (but still at most [limit]-sized) instance subset.
 
-val gb_custom : ?limit:int -> ?time_budget_ms:float -> Static.t -> Pattern.t -> result
+    [tables] enables the hybrid mode: when the pattern's instances are
+    single 2/3-hop chains or cycles — [P1]/[P2]/[P3], their DSL
+    equivalents, or the [P5] flower whose two cycles join only at the
+    anchor — the per-instance flow is read from the precomputed rows
+    instead of rebuilding and re-solving the subgraph.  Patterns the
+    tables cannot close ([P4]/[P6], relaxed, general shapes) fall back
+    to the ordinary per-instance computation. *)
+
+val pb :
+  ?jobs:int ->
+  ?limit:int ->
+  ?time_budget_ms:float ->
+  Static.t ->
+  tables ->
+  pattern ->
+  result
+(** Precomputation-based enumeration, anchor-sharded exactly like
+    {!gb} when [jobs > 1].  @raise Invalid_argument when the pattern
+    needs the chain table and [tables.c2 = None]. *)
+
+val gb_custom :
+  ?jobs:int ->
+  ?limit:int ->
+  ?time_budget_ms:float ->
+  ?tables:tables ->
+  Static.t ->
+  Pattern.t ->
+  result
 (** Graph-browsing enumeration of an arbitrary user pattern (e.g. one
     parsed by {!Pattern.of_string}), with per-instance maximum-flow
-    computation — the generic engine behind the rigid catalog. *)
+    computation — the generic engine behind the rigid catalog.
+    [jobs] and [tables] as in {!gb}. *)

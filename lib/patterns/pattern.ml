@@ -1,4 +1,4 @@
-type t = { name : string; n : int; labels : int array; edges : (int * int) list }
+type t = { name : string; n : int; labels : int array; edges : (int * int) list; sink : int }
 
 let make ~name ~labels ~edges =
   let n = Array.length labels in
@@ -17,8 +17,6 @@ let make ~name ~labels ~edges =
   (* DAG check (indices need not be topologically ordered in
      principle, but our browse order requires source first; a simple
      cycle check suffices). *)
-  let g = List.fold_left (fun g (i, j) -> Graph.add_edge g ~src:i ~dst:j [] ) Graph.empty edges in
-  ignore g;
   let adj = Array.make n [] in
   List.iter (fun (i, j) -> adj.(i) <- j :: adj.(i)) edges;
   let color = Array.make n 0 in
@@ -47,56 +45,54 @@ let make ~name ~labels ~edges =
   let sinks = List.filter (fun v -> not has_out.(v)) (List.init n Fun.id) in
   if sources <> [ 0 ] then
     invalid_arg "Pattern.make: vertex 0 must be the unique source (no incoming edges)";
-  (match sinks with
-  | [ _ ] -> ()
-  | _ -> invalid_arg "Pattern.make: pattern must have exactly one sink (no outgoing edges)");
-  { name; n; labels; edges }
+  let sink =
+    match sinks with
+    | [ s ] -> s
+    | _ -> invalid_arg "Pattern.make: pattern must have exactly one sink (no outgoing edges)"
+  in
+  { name; n; labels; edges; sink }
 
 let source _ = 0
-
-let sink t =
-  let has_out = Array.make t.n false in
-  List.iter (fun (i, _) -> has_out.(i) <- true) t.edges;
-  let rec find v = if has_out.(v) then find (v + 1) else v in
-  find 0
-
-let is_cyclic_shape t = t.labels.(0) = t.labels.(sink t)
+let sink t = t.sink
+let is_cyclic_shape t = t.labels.(0) = t.labels.(t.sink)
 
 type mapping = Static.vertex array
 
 exception Stop
 
-(* Precomputed per-step plan: when instantiating pattern vertex k,
-   [gen] is an optional (earlier vertex, direction) used to generate
-   candidates, and [checks] are the remaining adjacent constraints to
-   earlier vertices. *)
+(* Precomputed per-step plan: [lab] is the dense label id of vertex k
+   (indexing a small assignment array during the walk) and [adjacent]
+   collects every edge constraint between k and an earlier vertex.
+   For a fresh vertex the candidate generator is chosen among
+   [adjacent] at browse time, from whichever already-bound endpoint
+   has the smaller adjacency row. *)
 type step = {
   fresh : bool; (* k's label was not assigned by an earlier vertex *)
-  gen : (int * [ `From_pred | `From_succ ]) option;
-  checks : (int * [ `Edge_to_k | `Edge_from_k ]) list;
+  lab : int; (* dense label id in [0 .. n_labels-1] *)
+  adjacent : (int * [ `Edge_to_k | `Edge_from_k ]) list;
 }
 
 let plan t =
-  let label_first = Hashtbl.create 8 in
-  Array.init t.n (fun k ->
-      let fresh = not (Hashtbl.mem label_first t.labels.(k)) in
-      if fresh then Hashtbl.add label_first t.labels.(k) k;
-      let adjacent =
-        List.filter_map
-          (fun (i, j) ->
-            if i = k && j < k then Some (j, `Edge_from_k)
-            else if j = k && i < k then Some (i, `Edge_to_k)
-            else None)
-          t.edges
-      in
-      match (fresh, adjacent) with
-      | false, checks -> { fresh; gen = None; checks }
-      | true, [] -> { fresh; gen = None; checks = [] } (* only k = 0 *)
-      | true, (j, `Edge_to_k) :: rest -> { fresh; gen = Some (j, `From_succ); checks = rest }
-      | true, (j, `Edge_from_k) :: rest -> { fresh; gen = Some (j, `From_pred); checks = rest })
+  let label_ids = Hashtbl.create 8 in
+  let steps =
+    Array.init t.n (fun k ->
+        let fresh = not (Hashtbl.mem label_ids t.labels.(k)) in
+        if fresh then Hashtbl.add label_ids t.labels.(k) (Hashtbl.length label_ids);
+        let lab = Hashtbl.find label_ids t.labels.(k) in
+        let adjacent =
+          List.filter_map
+            (fun (i, j) ->
+              if i = k && j < k then Some (j, `Edge_from_k)
+              else if j = k && i < k then Some (i, `Edge_to_k)
+              else None)
+            t.edges
+        in
+        { fresh; lab; adjacent })
+  in
+  (steps, Hashtbl.length label_ids)
 
-let browse ?should_stop net t f =
-  let steps = plan t in
+let browse ?should_stop ?anchor net t f =
+  let steps, n_labels = plan t in
   (* Poll the stop condition every so many candidate probes: cheap
      enough for hot loops, frequent enough for time budgets. *)
   let probes = ref 0 in
@@ -108,59 +104,75 @@ let browse ?should_stop net t f =
         if !probes land 0xFFF = 0 && stop () then raise Stop
   in
   let mu = Array.make t.n (-1) in
-  let label_of = Hashtbl.create 8 in
-  (* label -> graph vertex currently assigned *)
+  (* rep.(l) is the graph vertex currently bound to dense label l. *)
+  let rep = Array.make n_labels (-1) in
   let distinct v =
-    Hashtbl.fold (fun _ v' ok -> ok && v' <> v) label_of true
+    let ok = ref true in
+    for l = 0 to n_labels - 1 do
+      if rep.(l) = v then ok := false
+    done;
+    !ok
   in
-  let checks_ok k v =
-    List.for_all
-      (fun (j, dir) ->
-        match dir with
-        | `Edge_from_k -> Static.find_edge net ~src:v ~dst:mu.(j) <> None
-        | `Edge_to_k -> Static.find_edge net ~src:mu.(j) ~dst:v <> None)
-      steps.(k).checks
+  let check v (j, dir) =
+    match dir with
+    | `Edge_from_k -> Static.find_edge net ~src:v ~dst:mu.(j) <> None
+    | `Edge_to_k -> Static.find_edge net ~src:mu.(j) ~dst:v <> None
   in
+  (* Verify every adjacency constraint except the (physically equal)
+     cell that generated the candidate. *)
+  let rec checks_ok v skip = function
+    | [] -> true
+    | c :: rest -> (c == skip || check v c) && checks_ok v skip rest
+  in
+  let no_skip = (-1, `Edge_to_k) in
   let rec go k =
     if k = t.n then f mu
     else begin
       let step = steps.(k) in
       if not step.fresh then begin
-        let v = Hashtbl.find label_of t.labels.(k) in
-        mu.(k) <- v;
-        (* All adjacent constraints must be verified (no generator). *)
-        let ok =
-          List.for_all
-            (fun (j, dir) ->
-              match dir with
-              | `Edge_from_k -> Static.find_edge net ~src:v ~dst:mu.(j) <> None
-              | `Edge_to_k -> Static.find_edge net ~src:mu.(j) ~dst:v <> None)
-            ((match step.gen with
-             | Some (j, `From_succ) -> (j, `Edge_to_k) :: step.checks
-             | Some (j, `From_pred) -> (j, `Edge_from_k) :: step.checks
-             | None -> step.checks))
-        in
-        if ok then go (k + 1);
-        mu.(k) <- -1
+        (* Same label as an earlier vertex: the binding is forced and
+           every adjacent constraint must be verified. *)
+        let v = rep.(step.lab) in
+        if checks_ok v no_skip step.adjacent then begin
+          mu.(k) <- v;
+          go (k + 1);
+          mu.(k) <- -1
+        end
       end
       else begin
-        let try_candidate v =
+        let try_candidate gen v =
           poll ();
-          if distinct v && checks_ok k v then begin
+          if distinct v && checks_ok v gen step.adjacent then begin
             mu.(k) <- v;
-            Hashtbl.add label_of t.labels.(k) v;
+            rep.(step.lab) <- v;
             go (k + 1);
-            Hashtbl.remove label_of t.labels.(k);
+            rep.(step.lab) <- -1;
             mu.(k) <- -1
           end
         in
-        match step.gen with
-        | Some (j, `From_succ) -> Static.iter_succs net mu.(j) (fun v _ -> try_candidate v)
-        | Some (j, `From_pred) -> Static.iter_preds net mu.(j) (fun v _ -> try_candidate v)
-        | None ->
-            for v = 0 to Static.n_vertices net - 1 do
-              try_candidate v
-            done
+        let generate ((j, dir) as g) =
+          match dir with
+          | `Edge_to_k -> Static.iter_succs net mu.(j) (fun v _ -> try_candidate g v)
+          | `Edge_from_k -> Static.iter_preds net mu.(j) (fun v _ -> try_candidate g v)
+        in
+        match step.adjacent with
+        | [] -> (
+            (* Only k = 0: the enumeration root. *)
+            match anchor with
+            | Some a -> if a >= 0 && a < Static.n_vertices net then try_candidate no_skip a
+            | None ->
+                for v = 0 to Static.n_vertices net - 1 do
+                  try_candidate no_skip v
+                done)
+        | [ g ] -> generate g
+        | first :: rest ->
+            let row_size (j, dir) =
+              match dir with
+              | `Edge_to_k -> Static.out_degree net mu.(j)
+              | `Edge_from_k -> Static.in_degree net mu.(j)
+            in
+            generate
+              (List.fold_left (fun b c -> if row_size c < row_size b then c else b) first rest)
       end
     end
   in

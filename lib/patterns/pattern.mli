@@ -19,6 +19,7 @@ type t = private {
   n : int;  (** Pattern vertices are [0 .. n-1]. *)
   labels : int array;  (** [labels.(i)] is the label of vertex [i]. *)
   edges : (int * int) list;
+  sink : int;  (** Cached at {!make} time; see {!val-sink}. *)
 }
 
 val make : name:string -> labels:int array -> edges:(int * int) list -> t
@@ -49,13 +50,18 @@ type mapping = Static.vertex array
 exception Stop
 (** Raise from the callback to abort enumeration early. *)
 
-val browse : ?should_stop:(unit -> bool) -> Static.t -> t -> (mapping -> unit) -> unit
+val browse :
+  ?should_stop:(unit -> bool) -> ?anchor:Static.vertex -> Static.t -> t -> (mapping -> unit) -> unit
 (** Enumerates every instance, invoking the callback with a mapping
     (the array is reused — copy it to retain).  Deterministic order.
     [should_stop] is polled periodically {e between candidates} (not
     only between instances), so a time budget also interrupts long dry
     spells on hub vertices — the situation behind the paper's
-    "15 days (est.)" entry for P5 on Bitcoin. *)
+    "15 days (est.)" entry for P5 on Bitcoin.  [anchor] restricts the
+    walk to instances whose pattern vertex 0 maps to the given graph
+    vertex — the sharding unit of the parallel catalog search:
+    browsing every anchor in ascending order reproduces the unanchored
+    enumeration exactly. *)
 
 val instance_edges : Static.t -> t -> mapping -> Static.edge_id list
 (** Graph edges realising each pattern edge.  @raise Invalid_argument

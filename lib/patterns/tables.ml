@@ -21,6 +21,26 @@ let starts t =
   done;
   !acc
 
+let find t key =
+  (* Rows are lexicographically sorted (per-anchor construction scans
+     successors in ascending order; [of_rows] sorts), so a binary
+     search inside the start vertex's offset range suffices. *)
+  let v0 = key.(0) in
+  if v0 < 0 || v0 + 1 >= Array.length t.offsets then None
+  else begin
+    let rec search lo hi =
+      if lo >= hi then None
+      else begin
+        let mid = (lo + hi) / 2 in
+        let c = compare t.rows.(mid).verts key in
+        if c = 0 then Some t.rows.(mid)
+        else if c < 0 then search (mid + 1) hi
+        else search lo mid
+      end
+    in
+    search t.offsets.(v0) t.offsets.(v0 + 1)
+  end
+
 let of_rows ~n_vertices rows =
   let rows = Array.of_list rows in
   Array.sort (fun a b -> compare a.verts b.verts) rows;
@@ -52,38 +72,45 @@ let path_row net verts eids =
   let arrivals = Simplify.reduce_chain_interactions edges in
   { verts; arrivals; flow = Interaction.total_qty arrivals }
 
-let cycles2 net =
-  let acc = ref [] in
-  for a = 0 to Static.n_vertices net - 1 do
-    Static.iter_succs net a (fun b e_ab ->
-        match Static.find_edge net ~src:b ~dst:a with
-        | Some e_ba -> acc := path_row net [| a; b |] [ e_ab; e_ba ] :: !acc
-        | None -> ())
-  done;
-  build (Static.n_vertices net) !acc
+(* Domain-parallel precompute: anchors are sharded with
+   [Batch.map_reduce]; every chunk collects its rows newest-first (as
+   the sequential loop did) and chunk lists are stitched back in
+   anchor order, so the reversed list handed to the counting-sort
+   [build] is identical to the sequential one for any job count. *)
+let per_anchor ?(jobs = 1) net collect =
+  let n = Static.n_vertices net in
+  let collected =
+    Tin_core.Batch.map_reduce ~jobs ~chunk:32 ~n
+      ~init:(fun () -> ref [])
+      ~body:(fun acc a -> collect a (fun row -> acc := row :: !acc))
+      ~merge:(fun earlier later ->
+        ref (List.rev_append (List.rev !later) !earlier))
+      ()
+  in
+  build n !collected
 
-let cycles3 net =
-  let acc = ref [] in
-  for a = 0 to Static.n_vertices net - 1 do
-    Static.iter_succs net a (fun b e_ab ->
-        if b <> a then
+let cycles2 ?jobs net =
+  per_anchor ?jobs net (fun a emit ->
+      Static.iter_succs net a (fun b e_ab ->
+          match Static.find_edge net ~src:b ~dst:a with
+          | Some e_ba -> emit (path_row net [| a; b |] [ e_ab; e_ba ])
+          | None -> ()))
+
+let cycles3 ?jobs net =
+  per_anchor ?jobs net (fun a emit ->
+      Static.iter_succs net a (fun b e_ab ->
+          if b <> a then
+            Static.iter_succs net b (fun c e_bc ->
+                if c <> a && c <> b then
+                  match Static.find_edge net ~src:c ~dst:a with
+                  | Some e_ca -> emit (path_row net [| a; b; c |] [ e_ab; e_bc; e_ca ])
+                  | None -> ())))
+
+let chains2 ?jobs net =
+  per_anchor ?jobs net (fun a emit ->
+      Static.iter_succs net a (fun b e_ab ->
           Static.iter_succs net b (fun c e_bc ->
-              if c <> a && c <> b then
-                match Static.find_edge net ~src:c ~dst:a with
-                | Some e_ca -> acc := path_row net [| a; b; c |] [ e_ab; e_bc; e_ca ] :: !acc
-                | None -> ()))
-  done;
-  build (Static.n_vertices net) !acc
-
-let chains2 net =
-  let acc = ref [] in
-  for a = 0 to Static.n_vertices net - 1 do
-    Static.iter_succs net a (fun b e_ab ->
-        Static.iter_succs net b (fun c e_bc ->
-            if c <> a && c <> b then
-              acc := path_row net [| a; b; c |] [ e_ab; e_bc ] :: !acc))
-  done;
-  build (Static.n_vertices net) !acc
+              if c <> a && c <> b then emit (path_row net [| a; b; c |] [ e_ab; e_bc ]))))
 
 let memory_rows t =
   Array.fold_left (fun acc r -> acc + List.length r.arrivals) 0 t.rows

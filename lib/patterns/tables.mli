@@ -37,15 +37,24 @@ val iter_start : t -> Static.vertex -> (row -> unit) -> unit
 val starts : t -> Static.vertex list
 (** Distinct start vertices, ascending. *)
 
-val cycles2 : Static.t -> t
-(** All 2-hop cycles [a→b→a]; row vertices are [[|a; b|]]. *)
+val cycles2 : ?jobs:int -> Static.t -> t
+(** All 2-hop cycles [a→b→a]; row vertices are [[|a; b|]].  [jobs]
+    (default 1) shards the start-vertex scan across OCaml domains;
+    the resulting table is identical for every job count. *)
 
-val cycles3 : Static.t -> t
-(** All 3-hop cycles [a→b→c→a] with [b ≠ c]; rows [[|a; b; c|]]. *)
+val cycles3 : ?jobs:int -> Static.t -> t
+(** All 3-hop cycles [a→b→c→a] with [b ≠ c]; rows [[|a; b; c|]].
+    [jobs] as in {!cycles2}. *)
 
-val chains2 : Static.t -> t
+val chains2 : ?jobs:int -> Static.t -> t
 (** All 2-hop chains [a→b→c] over distinct vertices; rows
-    [[|a; b; c|]]. *)
+    [[|a; b; c|]].  [jobs] as in {!cycles2}. *)
+
+val find : t -> Static.vertex array -> row option
+(** Binary search for the row with exactly the given path vertices
+    (start vertex first) — O(log) in the start vertex's row count.
+    Used by the hybrid graph-browsing mode to close chain/cycle
+    sub-joins against precomputed rows. *)
 
 val memory_rows : t -> int
 (** Total interactions stored (precomputation footprint measure). *)

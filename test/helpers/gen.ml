@@ -4,6 +4,7 @@
    failure and reproduce exactly). *)
 
 module Prng = Tin_util.Prng
+module Pattern = Tin_patterns.Pattern
 
 (* Random DAG flow problem: vertices 0..n-1 with 0 as designated
    source and n-1 as sink; edges only go from lower to higher index.
@@ -125,3 +126,27 @@ let random_static ?(n = 12) ?(edges = 30) ?(max_inter = 2) rng =
   (* Guarantee at least one edge so Static.of_list is non-trivial. *)
   if !acc = [] then acc := [ (0, 1, [ Interaction.make ~time:1.0 ~qty:1.0 ]) ];
   Static.of_list !acc
+
+(* Random valid pattern for DSL round-trip tests: a forward chain
+   0→1→…→n-1 (so the enumeration-order and unique-sink requirements of
+   Pattern.make hold by construction) plus random extra forward edges,
+   optionally made cyclic by giving the last vertex the source's label
+   (in which case the direct edge 0→n-1 is excluded — same-label
+   vertices cannot be adjacent). *)
+let random_pattern ?(max_v = 5) rng =
+  let n = 3 + Prng.int rng (max_v - 2) in
+  let cyclic = Prng.bool rng in
+  let labels = Array.init n (fun i -> i) in
+  if cyclic then labels.(n - 1) <- 0;
+  let edges = ref (List.init (n - 1) (fun i -> (i, i + 1))) in
+  let n_extra = Prng.int rng n in
+  for _ = 1 to n_extra do
+    let i = Prng.int rng (n - 1) in
+    let j = i + 1 + Prng.int rng (n - 1 - i) in
+    let forbidden = cyclic && i = 0 && j = n - 1 in
+    if (not forbidden) && not (List.mem (i, j) !edges) then edges := (i, j) :: !edges
+  done;
+  (* Keep the sink unique: drop extra edges out of n-1 (none are
+     generated — all extras are forward), and ensure every interior
+     vertex keeps its chain edge (it does). *)
+  Pattern.make ~name:"random" ~labels ~edges:(List.sort compare !edges)

@@ -78,6 +78,31 @@ let test_patterns_precompute () =
   in
   Alcotest.(check bool) "PB mode" true (contains out "(PB)")
 
+let test_patterns_parallel_matches_sequential () =
+  (* --jobs must not change untruncated results; --hybrid must agree
+     with the plain graph-browsing output. *)
+  let args j extra = Printf.sprintf "patterns %s -p p2 -p p3 --jobs %d%s" csv j extra in
+  let seq = check_ok "patterns jobs=1" (run_capture (args 1 "")) in
+  let par = check_ok "patterns jobs=3" (run_capture (args 3 "")) in
+  let hybrid = check_ok "patterns hybrid" (run_capture (args 3 " --hybrid")) in
+  Alcotest.(check string) "jobs=3 output identical" seq par;
+  Alcotest.(check bool) "hybrid mode banner" true (contains hybrid "GB hybrid");
+  (* Same table body: compare everything after the banner line. *)
+  let body s = match String.index_opt s '\n' with
+    | Some i -> String.sub s (i + 1) (String.length s - i - 1)
+    | None -> s
+  in
+  Alcotest.(check string) "hybrid table identical" (body seq) (body hybrid);
+  let code, _ = run_capture (args 0 "") in
+  Alcotest.(check bool) "jobs=0 rejected" true (code <> 0)
+
+let test_patterns_time_budget () =
+  let out =
+    check_ok "patterns budget"
+      (run_capture (Printf.sprintf "patterns %s -p p3 --time-budget-ms 0.001" csv))
+  in
+  Alcotest.(check bool) "table rendered" true (contains out "Pattern instances")
+
 let test_dot () =
   let out = check_ok "dot" (run_capture (Printf.sprintf "dot %s" csv)) in
   Alcotest.(check bool) "digraph" true (contains out "digraph")
@@ -109,6 +134,9 @@ let () =
               Alcotest.test_case "profile" `Quick test_profile;
               Alcotest.test_case "patterns builtin+custom" `Quick test_patterns_builtin_and_custom;
               Alcotest.test_case "patterns precompute" `Quick test_patterns_precompute;
+              Alcotest.test_case "patterns parallel determinism" `Quick
+                test_patterns_parallel_matches_sequential;
+              Alcotest.test_case "patterns time budget" `Quick test_patterns_time_budget;
               Alcotest.test_case "dot export" `Quick test_dot;
               Alcotest.test_case "bad usage" `Quick test_bad_usage;
             ] );

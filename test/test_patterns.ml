@@ -115,6 +115,91 @@ let prop_gb_eq_pb rng =
       && Fcmp.approx_eq ~eps:1e-5 a.Catalog.total_flow b.Catalog.total_flow)
     Catalog.all
 
+(* Parallel determinism: on untruncated searches, every job count must
+   return exactly the sequential result — same counts, same truncation
+   flags, and bit-identical flow totals (the per-anchor accumulators
+   merge in a fixed chunk order regardless of jobs). *)
+let prop_jobs_deterministic rng =
+  let net = Gen.random_static rng in
+  let tables = Catalog.precompute ~with_chains:true net in
+  let tables3 = Catalog.precompute ~jobs:3 ~with_chains:true net in
+  List.for_all
+    (fun pattern ->
+      let gb1 = Catalog.gb ~jobs:1 net pattern in
+      let pb1 = Catalog.pb ~jobs:1 net tables pattern in
+      List.for_all
+        (fun jobs ->
+          Catalog.gb ~jobs net pattern = gb1
+          && Catalog.pb ~jobs net tables pattern = pb1
+          && Catalog.pb ~jobs net tables3 pattern = pb1)
+        [ 2; 3; 7 ])
+    Catalog.all
+
+(* Hybrid GB (table-assisted flow lookups) must agree exactly with
+   plain GB on the whole catalog — the lookup-eligible patterns read
+   the same greedy reduction the tables stored, the rest fall back. *)
+let prop_hybrid_gb_eq_plain rng =
+  let net = Gen.random_static rng in
+  let tables = Catalog.precompute ~with_chains:true net in
+  List.for_all
+    (fun pattern ->
+      let plain = Catalog.gb net pattern in
+      let hybrid = Catalog.gb ~tables net pattern in
+      plain.Catalog.instances = hybrid.Catalog.instances
+      && Fcmp.approx_eq ~eps:1e-6 plain.Catalog.total_flow hybrid.Catalog.total_flow)
+    Catalog.all
+
+(* DSL round-trip over random generated patterns: printing and
+   re-parsing preserves the structure up to the parser's vertex
+   renumbering (first appearance in the printed edge list), and the
+   printed form is a fixpoint from then on. *)
+let prop_dsl_roundtrip rng =
+  let canonical_labels labels =
+    let seen = Hashtbl.create 8 in
+    Array.map
+      (fun l ->
+        match Hashtbl.find_opt seen l with
+        | Some c -> c
+        | None ->
+            let c = Hashtbl.length seen in
+            Hashtbl.add seen l c;
+            c)
+      labels
+  in
+  let p = Gen.random_pattern rng in
+  let p2 = Pattern.of_string (Pattern.to_string p) in
+  (* Vertex i of [p] becomes [perm.(i)] of [p2]: edges print in stored
+     order and the parser numbers vertices by first appearance. *)
+  let perm = Array.make p.Pattern.n (-1) in
+  let next = ref 0 in
+  let visit v = if perm.(v) < 0 then begin perm.(v) <- !next; incr next end in
+  List.iter
+    (fun (u, v) ->
+      visit u;
+      visit v)
+    p.Pattern.edges;
+  let mapped_edges = List.map (fun (u, v) -> (perm.(u), perm.(v))) p.Pattern.edges in
+  let mapped_labels = Array.make p.Pattern.n (-1) in
+  Array.iteri (fun v l -> mapped_labels.(perm.(v)) <- l) p.Pattern.labels;
+  !next = p.Pattern.n
+  && p2.Pattern.n = p.Pattern.n
+  && p2.Pattern.edges = mapped_edges
+  && canonical_labels p2.Pattern.labels = canonical_labels mapped_labels
+  && Pattern.sink p2 = perm.(Pattern.sink p)
+  && Pattern.is_cyclic_shape p2 = Pattern.is_cyclic_shape p
+  && Pattern.to_string (Pattern.of_string (Pattern.to_string p2)) = Pattern.to_string p2
+
+(* Parallel table construction is exactly the sequential one. *)
+let prop_parallel_tables rng =
+  let net = Gen.random_static rng in
+  List.for_all
+    (fun build -> List.for_all (fun jobs -> build ~jobs net = build ~jobs:1 net) [ 2; 3; 5 ])
+    [
+      (fun ~jobs net -> Tables.cycles2 ~jobs net);
+      (fun ~jobs net -> Tables.cycles3 ~jobs net);
+      (fun ~jobs net -> Tables.chains2 ~jobs net);
+    ]
+
 let test_pb_requires_chains () =
   let tables = Catalog.precompute ~with_chains:false fig2a_net in
   Alcotest.check_raises "P1 needs chains"
@@ -304,6 +389,10 @@ let () =
       ( "gb-vs-pb",
         [
           Check.seeded_property ~count:60 "GB = PB on all patterns" prop_gb_eq_pb;
+          Check.seeded_property ~count:20 "jobs=N = jobs=1 exactly" prop_jobs_deterministic;
+          Check.seeded_property ~count:40 "hybrid GB = plain GB" prop_hybrid_gb_eq_plain;
+          Check.seeded_property ~count:200 "DSL roundtrip on random patterns" prop_dsl_roundtrip;
+          Check.seeded_property ~count:30 "parallel tables = sequential" prop_parallel_tables;
           Alcotest.test_case "PB needs chains" `Quick test_pb_requires_chains;
           Alcotest.test_case "limit truncates" `Quick test_limit_truncates;
           Alcotest.test_case "avg flow" `Quick test_avg_flow;

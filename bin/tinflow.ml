@@ -4,6 +4,7 @@
      flow      compute greedy/maximum flow on a CSV network
      batch     evaluate all extracted subgraph flows across CPU cores
      patterns  enumerate flow patterns on a CSV network
+     verify    differential correctness check / fuzzer
      generate  write a synthetic dataset to CSV
      dot       render a CSV network to GraphViz *)
 
@@ -17,6 +18,22 @@ let setup_logs () =
   Fmt_tty.setup_std_outputs ();
   Logs.set_reporter (Logs.format_reporter ());
   Logs.set_level (Some Logs.Warning)
+
+(* CSV loads report malformed input as a diagnostic and a nonzero exit,
+   never a backtrace. *)
+
+let or_parse_error f =
+  match f () with
+  | v -> v
+  | exception Io.Parse_error e ->
+      prerr_endline ("tinflow: " ^ Io.error_to_string e);
+      exit 1
+  | exception Sys_error msg ->
+      prerr_endline ("tinflow: " ^ msg);
+      exit 1
+
+let load_csv file = or_parse_error (fun () -> Io.load_csv file)
+let load_csv_graph file = or_parse_error (fun () -> Io.load_csv_graph file)
 
 (* --- flow --- *)
 
@@ -74,7 +91,7 @@ let flow_cmd =
   in
   let run file source sink split meth solver =
     setup_logs ();
-    let g = Io.load_csv_graph file in
+    let g = load_csv_graph file in
     match
       match split with
       | Some v ->
@@ -147,7 +164,7 @@ let batch_cmd =
       prerr_endline "tinflow: --jobs must be positive";
       exit 2
     end;
-    let net = Io.load_csv file in
+    let net = load_csv file in
     let problems =
       Tin_datasets.Extract.extract ~max_interactions ~max_subgraphs net
       |> List.map (fun (p : Tin_datasets.Extract.problem) ->
@@ -186,7 +203,7 @@ let paths_cmd =
   let top = Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc:"Show the N heaviest routes.") in
   let run file source sink top =
     setup_logs ();
-    let g = Io.load_csv_graph file in
+    let g = load_csv_graph file in
     let value, routes = Tin_core.Decompose.max_flow_paths g ~source ~sink in
     Printf.printf "maximum flow: %g across %d temporal routes\n" value (List.length routes);
     List.sort
@@ -216,7 +233,7 @@ let profile_cmd =
   let greedy = Arg.(value & flag & info [ "greedy" ] ~doc:"Greedy profile (single scan) instead of per-prefix maximum flows.") in
   let run file source sink greedy =
     setup_logs ();
-    let g = Io.load_csv_graph file in
+    let g = load_csv_graph file in
     let profile =
       if greedy then Tin_core.Window.greedy_profile g ~source ~sink
       else Tin_core.Window.max_flow_profile g ~source ~sink
@@ -273,7 +290,7 @@ let patterns_cmd =
         exit 2
     | _ -> ());
     let jobs = Option.value jobs ~default:1 in
-    let net = Io.load_csv file in
+    let net = load_csv file in
     let which = if which = [] && custom = [] then Catalog.all else which in
     let tables =
       if use_pb || hybrid then Some (Catalog.precompute ~jobs ~with_chains:true net) else None
@@ -323,6 +340,107 @@ let patterns_cmd =
     (Cmd.info "patterns" ~doc:"Enumerate flow patterns and their maximum flows")
     Term.(const run $ file_arg $ which $ custom $ limit $ use_pb $ hybrid $ jobs $ time_budget)
 
+(* --- verify --- *)
+
+let verify_cmd =
+  let module Verify = Tin_verify.Verify in
+  let network =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"NETWORK.csv"
+          ~doc:"Check this network instead of fuzzing randomized instances.")
+  in
+  let source = Arg.(value & opt (some int) None & info [ "source"; "s" ] ~docv:"VERTEX" ~doc:"Source vertex (default: synthetic super-source).") in
+  let sink = Arg.(value & opt (some int) None & info [ "sink"; "t" ] ~docv:"VERTEX" ~doc:"Sink vertex (default: synthetic super-sink).") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed for the fuzzer.") in
+  let cases = Arg.(value & opt int 200 & info [ "cases" ] ~docv:"N" ~doc:"Number of randomized instances to check.") in
+  let inject =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "inject" ] ~docv:"DELTA"
+          ~doc:
+            "Add a deliberately wrong oracle (time-expanded max flow plus DELTA) to demonstrate \
+             that the harness catches and shrinks an injected solver bug.")
+  in
+  let dump =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dump" ] ~docv:"DIR"
+          ~doc:"Write each minimized counterexample there as a reloadable CSV (created if absent).")
+  in
+  let print_outcome (o : Verify.outcome) =
+    List.iter (fun (name, v) -> Printf.printf "  %-16s %g\n" name v) o.Verify.values;
+    List.iter (fun d -> Format.printf "  %a@." Verify.pp_discrepancy d) o.Verify.discrepancies
+  in
+  let run network source sink seed cases inject dump =
+    setup_logs ();
+    let extra = match inject with None -> [] | Some delta -> [ Verify.perturbed ~delta () ] in
+    Option.iter (fun dir -> if not (Sys.file_exists dir) then Sys.mkdir dir 0o755) dump;
+    match network with
+    | Some file -> (
+        let g = load_csv_graph file in
+        match
+          match (source, sink) with
+          | Some s, Some t -> Ok (g, s, t)
+          | _ -> (
+              try
+                let ep = Endpoints.add_synthetic g in
+                let s = Option.value ~default:ep.Endpoints.source source in
+                let t = Option.value ~default:ep.Endpoints.sink sink in
+                Ok (ep.Endpoints.graph, s, t)
+              with Invalid_argument msg -> Error msg)
+        with
+        | Error msg ->
+            prerr_endline ("tinflow: " ^ msg);
+            1
+        | Ok (g, source, sink) ->
+            let outcome = Verify.check ~extra g ~source ~sink in
+            print_outcome outcome;
+            if outcome.Verify.discrepancies = [] then begin
+              Printf.printf "ok: all oracles agree\n";
+              0
+            end
+            else begin
+              let shrunk = Verify.shrink ~extra g ~source ~sink in
+              Option.iter
+                (fun dir ->
+                  let path = Filename.concat dir "counterexample.csv" in
+                  Verify.dump_csv path shrunk ~source ~sink outcome;
+                  Printf.printf "minimized counterexample: %s\n" path)
+                dump;
+              Printf.printf "FAILED: %d discrepancy(ies)\n"
+                (List.length outcome.Verify.discrepancies);
+              1
+            end)
+    | None ->
+        let report = Verify.fuzz ~extra ?dump_dir:dump ~seed ~cases () in
+        List.iter
+          (fun (f : Verify.failure) ->
+            Printf.printf "case %d (%s%s): %d discrepancy(ies)\n" f.Verify.case_index
+              f.Verify.case.Tin_verify.Gen.family
+              (match f.Verify.case.Tin_verify.Gen.mutations with
+              | [] -> ""
+              | ms -> " + " ^ String.concat "," ms)
+              (List.length f.Verify.outcome.Verify.discrepancies);
+            print_outcome f.Verify.outcome;
+            Option.iter (Printf.printf "  minimized counterexample: %s\n") f.Verify.csv)
+          report.Verify.failures;
+        let n_fail = List.length report.Verify.failures in
+        Printf.printf "%d case(s), %d oracle(s) per case: %s\n" report.Verify.cases_run
+          (List.length Verify.oracle_names + List.length extra)
+          (if n_fail = 0 then "all invariants held" else Printf.sprintf "%d FAILED" n_fail);
+        if n_fail = 0 then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Differentially test every flow oracle (greedy, LP solvers, time-expanded algorithms, \
+          accelerated pipeline) against each other on randomized or given networks")
+    Term.(const run $ network $ source $ sink $ seed $ cases $ inject $ dump)
+
 (* --- generate --- *)
 
 let generate_cmd =
@@ -363,7 +481,7 @@ let dot_cmd =
   let sink = Arg.(value & opt (some int) None & info [ "sink" ] ~docv:"V" ~doc:"Highlight as sink.") in
   let run file source sink =
     setup_logs ();
-    let g = Io.load_csv_graph file in
+    let g = load_csv_graph file in
     print_string (Io.to_dot ?source ?sink g);
     0
   in
@@ -379,4 +497,13 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ flow_cmd; batch_cmd; paths_cmd; profile_cmd; patterns_cmd; generate_cmd; dot_cmd ]))
+          [
+            flow_cmd;
+            batch_cmd;
+            paths_cmd;
+            profile_cmd;
+            patterns_cmd;
+            verify_cmd;
+            generate_cmd;
+            dot_cmd;
+          ]))

@@ -5,7 +5,7 @@ module Dinic = Tin_maxflow.Dinic
 type leg = { src : Graph.vertex; dst : Graph.vertex; time : float; offered : float }
 type path = { legs : leg list; amount : float }
 
-let eps = 1e-9
+let eps = Tin_util.Fcmp.(default_policy.pivot_eps)
 
 let max_flow_paths g ~source ~sink =
   let te = TE.build g ~source ~sink in

@@ -13,6 +13,14 @@
     case, and all of the paper's examples) this coincides with the
     paper's description.
 
+    Interactions sharing a timestamp are scanned in the deterministic
+    order of {!Graph.interactions_sorted} — time, then source, then
+    destination — which fixes the winner when same-instant transfers
+    compete for one buffer.  Zero-quantity interactions move nothing
+    and create no buffer entries; self-loops are unrepresentable
+    ({!Graph.add_interaction} rejects them), so neither can inflate the
+    flow.
+
     Works on arbitrary directed graphs — acyclicity is not required
     (only the maximum-flow accelerators need DAGs). *)
 

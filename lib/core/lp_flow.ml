@@ -6,6 +6,15 @@ type lp = {
   n_rows : int;
   fixed_into_sink : float;
   objective_vars : (Problem.var * float) list;
+  var_interactions : (Problem.var * (Graph.vertex * Graph.vertex * Interaction.t)) list;
+  fixed_interactions : (Graph.vertex * Graph.vertex * Interaction.t) list;
+}
+
+type assignment = {
+  src : Graph.vertex;
+  dst : Graph.vertex;
+  interaction : Interaction.t;
+  amount : float;
 }
 
 (* Per-vertex event: either a variable interaction or a fixed
@@ -29,6 +38,8 @@ let build g ~source ~sink =
   let n_vars = ref 0 in
   let fixed_into_sink = ref 0.0 in
   let objective_vars = ref [] in
+  let var_interactions = ref [] in
+  let fixed_interactions = ref [] in
   Graph.iter_edges
     (fun v u is ->
       List.iter
@@ -36,6 +47,7 @@ let build g ~source ~sink =
           let time = Interaction.time i and qty = Interaction.qty i in
           if v = source then begin
             (* Full quantity, no variable. *)
+            fixed_interactions := (v, u, i) :: !fixed_interactions;
             if u = sink then fixed_into_sink := !fixed_into_sink +. qty
             else push u { time; qty; var = None; incoming = true }
           end
@@ -48,6 +60,7 @@ let build g ~source ~sink =
             let obj = if u = sink then 1.0 else 0.0 in
             let var = Problem.add_var ~lb:0.0 ~ub:qty ~obj problem in
             incr n_vars;
+            var_interactions := (var, (v, u, i)) :: !var_interactions;
             if u = sink then objective_vars := (var, 1.0) :: !objective_vars;
             push v { time; qty; var = Some var; incoming = false };
             if u <> sink && u <> source then push u { time; qty; var = Some var; incoming = true }
@@ -117,18 +130,34 @@ let build g ~source ~sink =
     n_rows = !n_rows;
     fixed_into_sink = !fixed_into_sink;
     objective_vars = !objective_vars;
+    var_interactions = !var_interactions;
+    fixed_interactions = !fixed_interactions;
   }
 
-let solve ?solver ?eps ?max_iters g ~source ~sink =
+let assignments lp value =
+  List.rev_append
+    (List.rev_map
+       (fun (var, (src, dst, interaction)) -> { src; dst; interaction; amount = value var })
+       lp.var_interactions)
+    (List.rev_map
+       (fun (src, dst, interaction) ->
+         { src; dst; interaction; amount = Interaction.qty interaction })
+       lp.fixed_interactions)
+
+let solve_detailed ?solver ?eps ?max_iters g ~source ~sink =
   let lp = build g ~source ~sink in
-  if lp.n_vars = 0 then Ok lp.fixed_into_sink
+  if lp.n_vars = 0 then Ok (lp.fixed_into_sink, assignments lp (fun _ -> 0.0))
   else
     let sol = Problem.solve ?solver ?eps ?max_iters lp.problem in
     match sol.Problem.status with
-    | `Optimal -> Ok (sol.Problem.objective +. lp.fixed_into_sink)
+    | `Optimal ->
+        Ok (sol.Problem.objective +. lp.fixed_into_sink, assignments lp sol.Problem.value)
     | `Unbounded -> Error `Unbounded
     | `Infeasible -> Error `Infeasible
     | `Iteration_limit -> Error `Iteration_limit
+
+let solve ?solver ?eps ?max_iters g ~source ~sink =
+  Result.map fst (solve_detailed ?solver ?eps ?max_iters g ~source ~sink)
 
 let n_variables g ~source =
   Graph.fold_edges

@@ -19,7 +19,23 @@ type lp = {
   objective_vars : (Tin_lp.Problem.var * float) list;
       (** Sink-incoming variables (with coefficient 1) — kept for
           inspection. *)
+  var_interactions :
+    (Tin_lp.Problem.var * (Graph.vertex * Graph.vertex * Interaction.t)) list;
+      (** Which interaction each LP variable transfers — the mapping
+          the differential verifier audits solutions through. *)
+  fixed_interactions : (Graph.vertex * Graph.vertex * Interaction.t) list;
+      (** Source-origin interactions, fixed at full quantity (Eq. 1). *)
 }
+
+type assignment = {
+  src : Graph.vertex;
+  dst : Graph.vertex;
+  interaction : Interaction.t;
+  amount : float;  (** Quantity the solution routes over it. *)
+}
+(** One interaction's share of an optimal solution — the LP solution
+    vector mapped back onto the network.  Source-origin interactions
+    appear with their full quantity (the LP's Eq.-1 convention). *)
 
 val build : Graph.t -> source:Graph.vertex -> sink:Graph.vertex -> lp
 (** Formulates the LP.  Works on arbitrary (even cyclic) graphs: the
@@ -44,6 +60,20 @@ val solve :
     two-phase simplex and [`Sparse]/[`Bounded] the respective native
     bounded solvers, the configurations compared by the solver
     benchmark ([bench/main.exe solvers]). *)
+
+val solve_detailed :
+  ?solver:Tin_lp.Problem.solver ->
+  ?eps:float ->
+  ?max_iters:int ->
+  Graph.t ->
+  source:Graph.vertex ->
+  sink:Graph.vertex ->
+  (float * assignment list, [ `Unbounded | `Infeasible | `Iteration_limit ]) Stdlib.result
+(** Like {!solve}, but also returns the full solution vector as
+    per-interaction {!assignment}s, one per interaction of the graph
+    (sink-origin interactions excluded — they carry nothing).  The
+    verifier audits per-interaction capacity residuals and per-vertex
+    temporal conservation from this list. *)
 
 val n_variables : Graph.t -> source:Graph.vertex -> int
 (** Number of LP variables the formulation would have — the problem

@@ -13,7 +13,29 @@ type cls = A | B | C
 
 let cls_name = function A -> "Class A" | B -> "Class B" | C -> "Class C"
 
-type report = { value : float; cls : cls; lp_vars_before : int; lp_vars_after : int }
+type stage =
+  | Soluble_as_given
+  | Cyclic_fallback
+  | Zero_after_preprocess
+  | Soluble_after_preprocess
+  | Soluble_after_simplify
+  | Lp_solve
+
+let stage_name = function
+  | Soluble_as_given -> "soluble-as-given"
+  | Cyclic_fallback -> "cyclic-fallback"
+  | Zero_after_preprocess -> "zero-after-preprocess"
+  | Soluble_after_preprocess -> "soluble-after-preprocess"
+  | Soluble_after_simplify -> "soluble-after-simplify"
+  | Lp_solve -> "lp-solve"
+
+type report = {
+  value : float;
+  cls : cls;
+  stage : stage;
+  lp_vars_before : int;
+  lp_vars_after : int;
+}
 
 exception Solver_failure of string
 
@@ -28,16 +50,17 @@ let solve_lp ?solver g ~source ~sink =
    stage.  Returns the flow and the stage accounting used by
    [report]. *)
 let staged ?solver ~simplify g ~source ~sink =
-  if Solubility.soluble g ~source ~sink then (Greedy.flow g ~source ~sink, A, 0)
+  if Solubility.soluble g ~source ~sink then
+    (Greedy.flow g ~source ~sink, A, Soluble_as_given, 0)
   else if not (Topo.is_dag g) then
     (* The DAG accelerators do not apply; the time-expanded reduction
        (and the LP) are structure-agnostic, so fall back to Dinic. *)
-    (Tin_maxflow.Time_expand.max_flow g ~source ~sink, C, 0)
+    (Tin_maxflow.Time_expand.max_flow g ~source ~sink, C, Cyclic_fallback, 0)
   else begin
     let pre = Preprocess.run g ~source ~sink in
-    if pre.Preprocess.zero_flow then (0.0, B, 0)
+    if pre.Preprocess.zero_flow then (0.0, B, Zero_after_preprocess, 0)
     else if Solubility.soluble pre.Preprocess.graph ~source ~sink then
-      (Greedy.flow pre.Preprocess.graph ~source ~sink, B, 0)
+      (Greedy.flow pre.Preprocess.graph ~source ~sink, B, Soluble_after_preprocess, 0)
     else begin
       let g' =
         if simplify then (Simplify.run pre.Preprocess.graph ~source ~sink).Simplify.graph
@@ -46,8 +69,8 @@ let staged ?solver ~simplify g ~source ~sink =
       (* Simplification can leave a greedy-soluble graph (e.g. the
          whole thing collapsed to parallel source edges). *)
       if simplify && Solubility.soluble g' ~source ~sink then
-        (Greedy.flow g' ~source ~sink, C, 0)
-      else (solve_lp ?solver g' ~source ~sink, C, Lp_flow.n_variables g' ~source)
+        (Greedy.flow g' ~source ~sink, C, Soluble_after_simplify, 0)
+      else (solve_lp ?solver g' ~source ~sink, C, Lp_solve, Lp_flow.n_variables g' ~source)
     end
   end
 
@@ -56,10 +79,10 @@ let compute ?solver method_ g ~source ~sink =
   | Greedy -> Greedy.flow g ~source ~sink
   | Lp -> solve_lp ?solver g ~source ~sink
   | Pre ->
-      let v, _, _ = staged ?solver ~simplify:false g ~source ~sink in
+      let v, _, _, _ = staged ?solver ~simplify:false g ~source ~sink in
       v
   | Pre_sim ->
-      let v, _, _ = staged ?solver ~simplify:true g ~source ~sink in
+      let v, _, _, _ = staged ?solver ~simplify:true g ~source ~sink in
       v
   | Time_expanded -> Tin_maxflow.Time_expand.max_flow g ~source ~sink
 
@@ -74,7 +97,7 @@ let classify g ~source ~sink =
     else C
   end
 
-let report ?solver g ~source ~sink =
+let report ?solver ?(simplify = true) g ~source ~sink =
   let lp_vars_before = Lp_flow.n_variables g ~source in
-  let value, cls, lp_vars_after = staged ?solver ~simplify:true g ~source ~sink in
-  { value; cls; lp_vars_before; lp_vars_after }
+  let value, cls, stage, lp_vars_after = staged ?solver ~simplify g ~source ~sink in
+  { value; cls; stage; lp_vars_before; lp_vars_after }

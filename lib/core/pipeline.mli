@@ -23,9 +23,23 @@ type cls = A | B | C
 
 val cls_name : cls -> string
 
+(** Which stage of the accelerated pipeline produced the value — the
+    observability hook the differential verifier uses to confirm that
+    every accelerated path is exercised and value-preserving. *)
+type stage =
+  | Soluble_as_given  (** Greedy sufficed on the input (Lemma 2). *)
+  | Cyclic_fallback  (** Not a DAG: time-expanded Dinic. *)
+  | Zero_after_preprocess  (** Preprocessing proved zero flow. *)
+  | Soluble_after_preprocess  (** Greedy sufficed after Algorithm 1. *)
+  | Soluble_after_simplify  (** Greedy sufficed after Algorithm 2. *)
+  | Lp_solve  (** Full LP on the reduced graph. *)
+
+val stage_name : stage -> string
+
 type report = {
   value : float;  (** The computed flow. *)
   cls : cls;
+  stage : stage;  (** Which pipeline stage computed [value]. *)
   lp_vars_before : int;
       (** LP variables of the direct formulation (problem size). *)
   lp_vars_after : int;
@@ -67,9 +81,12 @@ val classify : Graph.t -> source:Graph.vertex -> sink:Graph.vertex -> cls
 
 val report :
   ?solver:Tin_lp.Problem.solver ->
+  ?simplify:bool ->
   Graph.t ->
   source:Graph.vertex ->
   sink:Graph.vertex ->
   report
-(** Full [Pre_sim] run with classification and problem-size
-    accounting. *)
+(** Full [Pre_sim] run with classification, stage and problem-size
+    accounting.  [~simplify:false] toggles the Algorithm-2 stage off
+    (the [Pre] pipeline) — the knob the verifier uses to check each
+    preprocessing stage independently. *)

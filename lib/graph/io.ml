@@ -1,43 +1,97 @@
-exception Parse_error of { line : int; message : string }
+type error = { file : string; line : int; column : int; message : string }
+
+exception Parse_error of error
+
+let error_to_string e =
+  Printf.sprintf "%s:%d:%d: %s"
+    (if e.file = "" then "<channel>" else e.file)
+    e.line e.column e.message
+
+let pp_error ppf e = Format.pp_print_string ppf (error_to_string e)
 
 let src = Logs.Src.create "tin.graph.io" ~doc:"Interaction network I/O"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
-let parse_line ~lineno line =
-  match String.split_on_char ',' (String.trim line) with
-  | [ a; b; t; q ] -> (
-      try
-        let srcv = int_of_string (String.trim a)
-        and dstv = int_of_string (String.trim b)
-        and time = float_of_string (String.trim t)
-        and qty = float_of_string (String.trim q) in
-        Some (srcv, dstv, Interaction.make ~time ~qty)
-      with
-      | Invalid_argument msg -> raise (Parse_error { line = lineno; message = msg })
-      | Failure _ ->
-          raise (Parse_error { line = lineno; message = "malformed number in: " ^ line }))
-  | _ -> raise (Parse_error { line = lineno; message = "expected 4 comma-separated fields" })
+(* One CSV field: [text] as found, [column] the 1-based character
+   offset of its first character in the line. *)
+let split_fields line =
+  let n = String.length line in
+  let fields = ref [] in
+  let start = ref 0 in
+  for i = 0 to n do
+    if i = n || line.[i] = ',' then begin
+      fields := (String.sub line !start (i - !start), !start + 1) :: !fields;
+      start := i + 1
+    end
+  done;
+  List.rev !fields
 
-let interactions_of_channel ic =
+(* Strict numeric field parsing: [int_of_string]/[float_of_string]
+   accept OCaml literal syntax ("0x10", "1_000", "nan", "infinity");
+   the on-disk format is plain decimal CSV, so NaN and infinities are
+   data corruption, not numbers, and quantities/timestamps must be
+   non-negative (Definition 1: interactions transfer non-negative
+   quantities at real timestamps). *)
+let field_error ~file ~line ~column message = Error { file; line; column; message }
+
+let parse_vertex ~file ~line (text, column) what =
+  let t = String.trim text in
+  match int_of_string_opt t with
+  | Some v -> Ok v
+  | None -> field_error ~file ~line ~column ("malformed " ^ what ^ " (expected integer): " ^ t)
+
+let parse_qty ~file ~line (text, column) what =
+  let t = String.trim text in
+  match float_of_string_opt t with
+  | Some x when Float.is_nan x -> field_error ~file ~line ~column (what ^ " is NaN: " ^ t)
+  | Some x when not (Float.is_finite x) ->
+      field_error ~file ~line ~column (what ^ " is infinite: " ^ t)
+  | Some x when x < 0.0 -> field_error ~file ~line ~column (what ^ " is negative: " ^ t)
+  | Some x -> Ok x
+  | None -> field_error ~file ~line ~column ("malformed " ^ what ^ " (expected number): " ^ t)
+
+let ( let* ) = Result.bind
+
+let parse_line ~file ~lineno line =
+  match split_fields line with
+  | [ a; b; t; q ] ->
+      let* srcv = parse_vertex ~file ~line:lineno a "source vertex" in
+      let* dstv = parse_vertex ~file ~line:lineno b "destination vertex" in
+      let* time = parse_qty ~file ~line:lineno t "timestamp" in
+      let* qty = parse_qty ~file ~line:lineno q "quantity" in
+      Ok (srcv, dstv, Interaction.make ~time ~qty)
+  | fields ->
+      Error
+        {
+          file;
+          line = lineno;
+          column = 1;
+          message = Printf.sprintf "expected 4 comma-separated fields, got %d" (List.length fields);
+        }
+
+let parse_channel ?(file = "") ic =
   let rec go lineno acc self_loops =
     match In_channel.input_line ic with
     | None ->
         if self_loops > 0 then Log.warn (fun m -> m "skipped %d self-loop interactions" self_loops);
-        List.rev acc
+        Ok (List.rev acc)
     | Some line ->
         let trimmed = String.trim line in
         if trimmed = "" || trimmed.[0] = '#' then go (lineno + 1) acc self_loops
         else if lineno = 1 && String.lowercase_ascii trimmed = "src,dst,time,qty" then
           go (lineno + 1) acc self_loops
         else begin
-          match parse_line ~lineno trimmed with
-          | Some (s, d, _) when s = d -> go (lineno + 1) acc (self_loops + 1)
-          | Some entry -> go (lineno + 1) (entry :: acc) self_loops
-          | None -> go (lineno + 1) acc self_loops
+          match parse_line ~file ~lineno trimmed with
+          | Ok (s, d, _) when s = d -> go (lineno + 1) acc (self_loops + 1)
+          | Ok entry -> go (lineno + 1) (entry :: acc) self_loops
+          | Error e -> Error e
         end
   in
   go 1 [] 0
+
+let interactions_of_channel ic =
+  match parse_channel ic with Ok entries -> entries | Error e -> raise (Parse_error e)
 
 let group_entries entries =
   let tbl = Hashtbl.create 1024 in
@@ -48,15 +102,24 @@ let group_entries entries =
     entries;
   Hashtbl.fold (fun (s, d) is acc -> (s, d, is) :: acc) tbl []
 
-let load_csv path =
-  In_channel.with_open_text path (fun ic ->
-      Static.of_list (group_entries (interactions_of_channel ic)))
+let graph_of_entries entries =
+  List.fold_left
+    (fun g (srcv, dstv, i) -> Graph.add_interaction g ~src:srcv ~dst:dstv i)
+    Graph.empty entries
 
-let load_csv_graph path =
+let load_csv_result path =
   In_channel.with_open_text path (fun ic ->
-      List.fold_left
-        (fun g (srcv, dstv, i) -> Graph.add_interaction g ~src:srcv ~dst:dstv i)
-        Graph.empty (interactions_of_channel ic))
+      Result.map (fun entries -> Static.of_list (group_entries entries))
+        (parse_channel ~file:path ic))
+
+let load_csv_graph_result path =
+  In_channel.with_open_text path (fun ic ->
+      Result.map graph_of_entries (parse_channel ~file:path ic))
+
+let raise_on_error = function Ok x -> x | Error e -> raise (Parse_error e)
+
+let load_csv path = raise_on_error (load_csv_result path)
+let load_csv_graph path = raise_on_error (load_csv_graph_result path)
 
 let save_csv path g =
   Out_channel.with_open_text path (fun oc ->

@@ -3,19 +3,49 @@
     The on-disk format is the four-column CSV used by the paper's
     artifact: [src,dst,time,qty], one interaction per line.  Lines that
     are empty or start with ['#'] are ignored.  An optional header line
-    [src,dst,time,qty] is recognised and skipped. *)
+    [src,dst,time,qty] is recognised and skipped.
 
-exception Parse_error of { line : int; message : string }
+    The parser is strict: every malformed row is reported with file,
+    line and column; NaN, infinite and negative timestamps or
+    quantities are rejected as data corruption (Definition 1 transfers
+    non-negative finite quantities).  Use the [_result] variants for
+    recoverable error handling; the plain loaders raise
+    {!Parse_error}. *)
+
+type error = {
+  file : string;  (** [""] when parsing an anonymous channel. *)
+  line : int;  (** 1-based line number. *)
+  column : int;  (** 1-based character offset of the offending field. *)
+  message : string;
+}
+
+exception Parse_error of error
+
+val error_to_string : error -> string
+(** ["file:line:column: message"] — the GNU diagnostic format. *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse_channel :
+  ?file:string -> in_channel -> ((int * int * Interaction.t) list, error) result
+(** Parses a channel.  Self-loops are skipped (with a [Logs] warning
+    counter), matching how the paper cleans its inputs.  [file] is only
+    used in diagnostics. *)
 
 val interactions_of_channel : in_channel -> (int * int * Interaction.t) list
-(** Parses a channel.  Self-loops are skipped (with a [Logs] warning
-    counter), matching how the paper cleans its inputs.
-    @raise Parse_error on malformed lines. *)
+(** Exception-raising wrapper of {!parse_channel}.
+    @raise Parse_error on malformed input. *)
 
-val load_csv : string -> Static.t
+val load_csv_result : string -> (Static.t, error) result
 (** Loads a CSV file into a compiled network. *)
 
+val load_csv_graph_result : string -> (Graph.t, error) result
+
+val load_csv : string -> Static.t
+(** @raise Parse_error on malformed input. *)
+
 val load_csv_graph : string -> Graph.t
+(** @raise Parse_error on malformed input. *)
 
 val save_csv : string -> Graph.t -> unit
 (** Writes [src,dst,time,qty] lines, header included, edges in

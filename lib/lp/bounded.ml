@@ -13,7 +13,7 @@ type outcome =
 
    The origin (all structural variables at 0, slacks basic at rhs) is
    feasible because rhs >= 0, so no phase 1 is needed. *)
-let solve ?(eps = 1e-9) ?(max_iters = 50_000) ~c ~upper ~rows () =
+let solve ?(eps = Tin_util.Fcmp.(default_policy.pivot_eps)) ?(max_iters = 50_000) ~c ~upper ~rows () =
   let n = Array.length c in
   if Array.length upper <> n then invalid_arg "Bounded.solve: bounds arity mismatch";
   Array.iter

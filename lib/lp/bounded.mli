@@ -30,5 +30,5 @@ val solve :
   outcome
 (** [solve ~c ~upper ~rows ()] maximizes [c·x] subject to
     [coefs·x ≤ rhs] for each row and [0 ≤ x_j ≤ upper.(j)].
-    @param eps pivot tolerance (default [1e-9]).
+    @param eps pivot tolerance (default [Tin_util.Fcmp.default_policy.pivot_eps]).
     @param max_iters hard cap (default [50_000]). *)

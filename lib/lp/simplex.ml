@@ -118,7 +118,7 @@ let run_phase tab ~obj ~obj_rhs ~allowed ~eps ~max_iters =
   in
   iterate 0
 
-let solve ?(eps = 1e-9) ?(max_iters = 50_000) ~c ~rows () =
+let solve ?(eps = Tin_util.Fcmp.(default_policy.pivot_eps)) ?(max_iters = 50_000) ~c ~rows () =
   let n = Array.length c in
   List.iter
     (fun (coefs, _, _) ->

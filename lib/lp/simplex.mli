@@ -35,5 +35,5 @@ val solve :
     Each row is [(coefficients, sense, rhs)]; every coefficient array
     must have the same length as [c].
 
-    @param eps pivot/zero tolerance (default [1e-9]).
+    @param eps pivot/zero tolerance (default [Tin_util.Fcmp.default_policy.pivot_eps]).
     @param max_iters hard iteration cap (default [50_000]). *)

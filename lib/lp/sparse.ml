@@ -25,7 +25,7 @@ type outcome =
 
 type eta = { er : int; wr : float; ew : (int * float) array (* excludes er *) }
 
-let solve ?(eps = 1e-9) ?(max_iters = 50_000) ?(refactor_every = 64) ~c ~upper ~rhs ~cols () =
+let solve ?(eps = Tin_util.Fcmp.(default_policy.pivot_eps)) ?(max_iters = 50_000) ?(refactor_every = 64) ~c ~upper ~rhs ~cols () =
   let n = Array.length c in
   let m = Array.length rhs in
   if Array.length upper <> n then invalid_arg "Sparse.solve: bounds arity mismatch";

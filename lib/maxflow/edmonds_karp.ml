@@ -1,4 +1,4 @@
-let eps = 1e-12
+let eps = Tin_util.Fcmp.(default_policy.path_eps)
 
 let max_flow net ~source ~sink =
   if source = sink then invalid_arg "Edmonds_karp.max_flow: source = sink";

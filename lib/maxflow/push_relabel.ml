@@ -1,4 +1,4 @@
-let eps = 1e-12
+let eps = Tin_util.Fcmp.(default_policy.path_eps)
 
 (* Highest-label push-relabel with the gap heuristic.  Excess at the
    source is initialised by saturating its outgoing arcs; nodes with

@@ -135,9 +135,25 @@ let build ?(buffer_capacity = fun _ -> infinity) g ~source ~sink =
     interaction_arcs = !interaction_arcs;
   }
 
+let solve_net ~algo net ~source ~sink =
+  match algo with
+  | `Dinic -> Dinic.max_flow net ~source ~sink
+  | `Edmonds_karp -> Edmonds_karp.max_flow net ~source ~sink
+  | `Push_relabel -> Push_relabel.max_flow net ~source ~sink
+
 let max_flow ?(algo = `Dinic) ?buffer_capacity g ~source ~sink =
   let { net; source_node; sink_node; _ } = build ?buffer_capacity g ~source ~sink in
-  match algo with
-  | `Dinic -> Dinic.max_flow net ~source:source_node ~sink:sink_node
-  | `Edmonds_karp -> Edmonds_karp.max_flow net ~source:source_node ~sink:sink_node
-  | `Push_relabel -> Push_relabel.max_flow net ~source:source_node ~sink:sink_node
+  solve_net ~algo net ~source:source_node ~sink:sink_node
+
+type solution = {
+  value : float;
+  interaction_flows : ((Graph.vertex * Graph.vertex * Interaction.t) * float) list;
+}
+
+let max_flow_detailed ?(algo = `Dinic) ?buffer_capacity g ~source ~sink =
+  let te = build ?buffer_capacity g ~source ~sink in
+  let value = solve_net ~algo te.net ~source:te.source_node ~sink:te.sink_node in
+  let interaction_flows =
+    List.rev_map (fun (arc, inter) -> (inter, Net.flow te.net arc)) te.interaction_arcs
+  in
+  { value; interaction_flows }

@@ -62,3 +62,22 @@ val max_flow :
   sink:Graph.vertex ->
   float
 (** Builds and solves in one go (default [`Dinic]). *)
+
+type solution = {
+  value : float;
+  interaction_flows : ((Graph.vertex * Graph.vertex * Interaction.t) * float) list;
+      (** Flow routed over each interaction's arc, read back from the
+          solved residual network.  Dead interactions (never reachable
+          — no arc in the expansion) are absent; they carry zero. *)
+}
+
+val max_flow_detailed :
+  ?algo:[ `Dinic | `Edmonds_karp | `Push_relabel ] ->
+  ?buffer_capacity:(Graph.vertex -> float) ->
+  Graph.t ->
+  source:Graph.vertex ->
+  sink:Graph.vertex ->
+  solution
+(** Like {!max_flow}, but also extracts the per-interaction flows from
+    the residual network — the independently-computed solution vector
+    the differential verifier audits against the LP's. *)

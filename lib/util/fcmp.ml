@@ -1,4 +1,20 @@
-let default_eps = 1e-6
+type policy = {
+  flow_eps : float;
+  pivot_eps : float;
+  path_eps : float;
+}
+
+let default_policy = { flow_eps = 1e-6; pivot_eps = 1e-9; path_eps = 1e-12 }
+
+let policy ?(flow_eps = default_policy.flow_eps) ?(pivot_eps = default_policy.pivot_eps)
+    ?(path_eps = default_policy.path_eps) () =
+  if
+    Float.is_nan flow_eps || flow_eps < 0.0 || Float.is_nan pivot_eps || pivot_eps < 0.0
+    || Float.is_nan path_eps || path_eps < 0.0
+  then invalid_arg "Fcmp.policy: tolerances must be non-negative";
+  { flow_eps; pivot_eps; path_eps }
+
+let default_eps = default_policy.flow_eps
 
 let scale a b = Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
 

@@ -113,6 +113,49 @@ let test_bad_usage () =
   let code, _ = run_capture "nonsense-subcommand" in
   Alcotest.(check bool) "unknown subcommand" true (code <> 0)
 
+let corrupt_fixture =
+  List.find_opt Sys.file_exists [ "data/corrupt.csv"; "test/data/corrupt.csv" ]
+  |> Option.value ~default:"data/corrupt.csv"
+
+let test_corrupt_csv_diagnostic () =
+  (* Malformed input must produce a file:line:column diagnostic and a
+     nonzero exit, not a backtrace. *)
+  let code, out = run_capture (Printf.sprintf "flow %s -s 0 -t 1" corrupt_fixture) in
+  Alcotest.(check int) "exit 1" 1 code;
+  Alcotest.(check bool) "no backtrace" true (not (contains out "Raised at"));
+  Alcotest.(check bool) "file:line:column diagnostic" true (contains out "corrupt.csv:3:9");
+  Alcotest.(check bool) "names the defect" true (contains out "NaN")
+
+let test_verify_fuzz_clean () =
+  let out = check_ok "verify" (run_capture "verify --seed 42 --cases 50") in
+  Alcotest.(check bool) "summary" true (contains out "all invariants held")
+
+let test_verify_injected_caught () =
+  let dir = Filename.temp_file "tinflow_dump" "" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter (fun n -> Sys.remove (Filename.concat dir n)) (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () ->
+      let code, out =
+        run_capture (Printf.sprintf "verify --seed 42 --cases 10 --inject 0.25 --dump %s" dir)
+      in
+      Alcotest.(check int) "exit 1" 1 code;
+      Alcotest.(check bool) "disagreement reported" true (contains out "max-flow-disagreement");
+      Alcotest.(check bool) "counterexample path shown" true
+        (contains out "minimized counterexample");
+      Alcotest.(check bool) "CSV dumped" true
+        (Array.exists
+           (fun n -> Filename.check_suffix n ".csv")
+           (Sys.readdir dir)))
+
+let test_verify_single_network () =
+  let out = check_ok "verify csv" (run_capture (Printf.sprintf "verify %s -s 0 -t 1" csv)) in
+  Alcotest.(check bool) "all oracles agree" true (contains out "ok: all oracles agree")
+
 let () =
   if not (Sys.file_exists exe) then begin
     print_endline "tinflow binary not found; skipping CLI integration tests";
@@ -139,5 +182,9 @@ let () =
               Alcotest.test_case "patterns time budget" `Quick test_patterns_time_budget;
               Alcotest.test_case "dot export" `Quick test_dot;
               Alcotest.test_case "bad usage" `Quick test_bad_usage;
+              Alcotest.test_case "corrupt csv diagnostic" `Quick test_corrupt_csv_diagnostic;
+              Alcotest.test_case "verify fuzz clean" `Quick test_verify_fuzz_clean;
+              Alcotest.test_case "verify injected bug caught" `Quick test_verify_injected_caught;
+              Alcotest.test_case "verify single network" `Quick test_verify_single_network;
             ] );
         ])

@@ -207,6 +207,27 @@ let contains hay needle =
   let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
   go 0
 
+let test_corrupt_fixture () =
+  (* Checked-in regression fixture: NaN quantity on line 3, column 9.
+     Under `dune runtest` the cwd is _build/default/test. *)
+  let path =
+    List.find_opt Sys.file_exists [ "data/corrupt.csv"; "test/data/corrupt.csv" ]
+    |> Option.value ~default:"data/corrupt.csv"
+  in
+  (match Io.load_csv_graph_result path with
+  | Ok _ -> Alcotest.fail "corrupt fixture parsed"
+  | Error e ->
+      Alcotest.(check int) "line" 3 e.Io.line;
+      Alcotest.(check int) "column" 9 e.Io.column;
+      Alcotest.(check bool) "mentions NaN" true (contains e.Io.message "NaN");
+      Alcotest.(check bool)
+        "file:line:column diagnostic" true
+        (contains (Io.error_to_string e) "corrupt.csv:3:9"));
+  match Io.load_csv_graph path with
+  | exception Io.Parse_error { line = 3; column = 9; _ } -> ()
+  | exception e -> Alcotest.failf "unexpected exception %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "expected Parse_error"
+
 let test_dot_output () =
   let dot = Io.to_dot ~source:Paper_examples.s ~sink:Paper_examples.t Paper_examples.fig3 in
   Alcotest.(check bool) "digraph header" true (contains dot "digraph");
@@ -253,6 +274,7 @@ let () =
           Alcotest.test_case "csv parse error" `Quick test_csv_parse_errors;
           Alcotest.test_case "csv negative quantity" `Quick test_csv_negative_quantity;
           Alcotest.test_case "csv comments/self-loops" `Quick test_csv_skips_comments_and_self_loops;
+          Alcotest.test_case "csv corrupt fixture" `Quick test_corrupt_fixture;
           Alcotest.test_case "dot output" `Quick test_dot_output;
         ] );
     ]

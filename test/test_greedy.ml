@@ -82,6 +82,42 @@ let test_cycle_supported () =
   in
   Check.check_flow "flow circles through the 1-2 cycle" 4.0 (Greedy.flow g ~source:0 ~sink:3)
 
+let test_tie_order_documented () =
+  (* Interactions sharing a timestamp are scanned in the documented
+     order of Graph.interactions_sorted — (time, src, dst) — so the
+     winner among same-instant transfers competing for one buffer is
+     deterministic: here (1,2) sorts before (1,3) and drains it. *)
+  let g =
+    Graph.of_edges [ (0, 1, [ (1.0, 5.0) ]); (1, 3, [ (2.0, 5.0) ]); (1, 2, [ (2.0, 5.0) ]) ]
+  in
+  let _, trace = Greedy.flow_trace g ~source:0 ~sink:3 in
+  let order = List.map (fun tr -> (tr.Greedy.src, tr.Greedy.dst)) trace in
+  Alcotest.(check (list (pair int int)))
+    "scan order is (time, src, dst)"
+    [ (0, 1); (1, 2); (1, 3) ]
+    order;
+  Check.check_flow "tie loser moves nothing" 0.0 (Greedy.flow g ~source:0 ~sink:3)
+
+let test_zero_qty_no_spurious_buffers () =
+  (* A zero-quantity interaction moves nothing and must not create a
+     buffer entry downstream. *)
+  let g = Graph.of_edges [ (0, 1, [ (1.0, 0.0) ]); (1, 2, [ (2.0, 5.0) ]) ] in
+  let value, trace = Greedy.flow_trace g ~source:0 ~sink:2 in
+  Check.check_flow "zero-quantity arrival enables nothing" 0.0 value;
+  List.iter
+    (fun tr -> Alcotest.(check (float 0.0)) "no quantity moves" 0.0 tr.Greedy.moved)
+    trace;
+  Alcotest.(check (float 0.0))
+    "intermediate buffer stays empty" 0.0
+    (List.assoc 1 (Greedy.buffers g ~source:0 ~sink:2))
+
+let test_self_loop_unrepresentable () =
+  (* Self-loops cannot inflate the flow because the graph refuses to
+     represent them in the first place. *)
+  Alcotest.check_raises "self-loop rejected" (Invalid_argument "Graph.add_edge: self-loop")
+    (fun () ->
+      ignore (Graph.add_interaction Graph.empty ~src:1 ~dst:1 (Interaction.make ~time:1.0 ~qty:5.0)))
+
 let test_buffers () =
   let buffers = Greedy.buffers P.fig3 ~source:P.s ~sink:P.t in
   let lookup v = List.assoc v buffers in
@@ -118,6 +154,10 @@ let () =
           Alcotest.test_case "strict time: same timestamp" `Quick test_strict_time_same_timestamp;
           Alcotest.test_case "strict time: later ok" `Quick test_strict_time_later_ok;
           Alcotest.test_case "no double spend at ties" `Quick test_no_double_spend_at_tie;
+          Alcotest.test_case "deterministic tie order" `Quick test_tie_order_documented;
+          Alcotest.test_case "zero quantity buffers nothing" `Quick
+            test_zero_qty_no_spurious_buffers;
+          Alcotest.test_case "self-loop unrepresentable" `Quick test_self_loop_unrepresentable;
           Alcotest.test_case "cycles supported" `Quick test_cycle_supported;
           Alcotest.test_case "final buffers" `Quick test_buffers;
           Alcotest.test_case "source = sink rejected" `Quick test_source_eq_sink_rejected;

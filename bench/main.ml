@@ -13,7 +13,7 @@
 let known_targets =
   [
     "table4"; "table5"; "table6"; "table7"; "table8"; "figure11"; "table9"; "table10"; "table11";
-    "flows"; "patterns"; "micro"; "ablation"; "sweep"; "solvers"; "all";
+    "flows"; "patterns"; "micro"; "ablation"; "sweep"; "solvers"; "obs"; "all";
   ]
 
 let usage () =
@@ -57,11 +57,9 @@ let () =
   Printf.printf
     "Flow Computation in Temporal Interaction Networks -- experiment harness (%s scale)\n\n"
     (if quick then "quick" else "full");
-  let t0 = Tin_util.Timer.now_ns () in
   Printf.printf "Generating datasets and extracting subgraphs...\n%!";
-  let datasets = Workload.load scale in
-  Printf.printf "  done in %.1fs\n\n%!"
-    (Int64.to_float (Int64.sub (Tin_util.Timer.now_ns ()) t0) /. 1e9);
+  let datasets, gen_secs = Tin_util.Timer.time_f (fun () -> Workload.load scale) in
+  Printf.printf "  done in %.1fs\n\n%!" gen_secs;
   if wants "table4" then begin
     Flow_bench.table4 datasets;
     print_newline ()
@@ -111,6 +109,10 @@ let () =
   if wants "sweep" then Sweep.run ();
   if wants "solvers" then begin
     Solver_bench.run ~json:!json ~scale_name:(if quick then "quick" else "full") datasets;
+    print_newline ()
+  end;
+  if wants "obs" then begin
+    Obs_bench.run datasets;
     print_newline ()
   end;
   if wants "micro" || List.mem "all" targets then Micro.run datasets;

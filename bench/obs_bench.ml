@@ -1,0 +1,86 @@
+(* Observability overhead guard.
+
+   Every instrumentation site in the solvers and the pipeline reduces
+   to a single [Atomic.get Obs.enabled] load when observability is off,
+   so the disabled path must be free.  This benchmark keeps that claim
+   honest in two ways:
+
+   - it measures the disabled [Counter.incr] cost directly (ns/op) and
+     multiplies by the number of counter operations a real solve
+     workload performs (counted in a separate instrumented pass) to
+     bound the injected overhead analytically;
+   - it also times the workload with observability on vs off as a
+     sanity cross-check (reported, not asserted: wall-clock deltas at
+     this scale are noise-dominated).
+
+   The analytic bound is deterministic, so it is asserted: the run
+   fails if the estimated disabled-path overhead reaches 2%. *)
+
+module Obs = Tin_obs.Obs
+module Timer = Tin_util.Timer
+module Extract = Tin_datasets.Extract
+module Lp_flow = Tin_core.Lp_flow
+
+let guard_pct = 2.0
+let max_problems = 50
+
+let solvers : Tin_lp.Problem.solver list = [ `Dense; `Bounded; `Sparse ]
+
+(* ns per disabled Counter.incr, measured over a long tight loop. *)
+let disabled_incr_ns () =
+  let c = Obs.Counter.make "bench.obs.disabled_probe" in
+  for _ = 1 to 1_000 do
+    Obs.Counter.incr c
+  done;
+  let n = 20_000_000 in
+  let (), secs =
+    Timer.time_f (fun () ->
+        for _ = 1 to n do
+          Obs.Counter.incr c
+        done)
+  in
+  secs *. 1e9 /. float_of_int n
+
+let solve_all problems =
+  List.iter
+    (fun (p : Extract.problem) ->
+      List.iter
+        (fun solver ->
+          ignore
+            (Lp_flow.solve ~solver p.Extract.graph ~source:p.Extract.source ~sink:p.Extract.sink))
+        solvers)
+    problems
+
+let run datasets =
+  let problems =
+    List.concat_map (fun d -> d.Workload.problems) datasets
+    |> List.filteri (fun i _ -> i < max_problems)
+  in
+  if problems = [] then print_endline "obs: no extracted subgraphs to benchmark"
+  else begin
+    Printf.printf "Observability disabled-path overhead guard (%d subgraphs x %d solvers)\n%!"
+      (List.length problems) (List.length solvers);
+    let ns_per_op = disabled_incr_ns () in
+    (* Count the counter operations the workload performs. *)
+    Obs.reset ();
+    Obs.enable ();
+    let (), enabled_secs = Timer.time_f (fun () -> solve_all problems) in
+    Obs.disable ();
+    let ops = List.fold_left (fun acc (_, v) -> acc + v) 0 (Obs.counters ()) in
+    Obs.reset ();
+    (* Time the same workload on the disabled path (twice: warm + timed). *)
+    solve_all problems;
+    let (), disabled_secs = Timer.time_f (fun () -> solve_all problems) in
+    let injected_secs = float_of_int ops *. ns_per_op /. 1e9 in
+    let overhead_pct = 100.0 *. injected_secs /. Float.max disabled_secs 1e-9 in
+    Printf.printf "  disabled Counter.incr:  %.2f ns/op\n" ns_per_op;
+    Printf.printf "  counter ops in workload: %d\n" ops;
+    Printf.printf "  workload wall: %.3fs disabled, %.3fs enabled\n" disabled_secs enabled_secs;
+    Printf.printf "  estimated disabled-path overhead: %.4f%% (guard: < %g%%)\n" overhead_pct
+      guard_pct;
+    if overhead_pct >= guard_pct then
+      failwith
+        (Printf.sprintf "observability disabled-path overhead %.3f%% exceeds %g%% budget"
+           overhead_pct guard_pct);
+    Printf.printf "  ok: disabled-path overhead within budget\n"
+  end

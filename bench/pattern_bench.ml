@@ -114,7 +114,28 @@ type dataset_sweep = {
   l3_rows : int;
   chain_rows : int option;
   sweeps : pattern_sweep list;
+  obs : (string * int) list;
 }
+
+(* A separate instrumented pass (timed runs stay uninstrumented): one
+   GB and one PB search per pattern with counters on, so
+   BENCH_pattern.json records tickets consumed, anchors sharded,
+   deadline hits and the per-instance LP work for regression
+   tracking. *)
+let obs_snapshot scale d tables budget_ms =
+  let module Obs = Tin_obs.Obs in
+  Obs.reset ();
+  Obs.enable ();
+  List.iter
+    (fun pattern ->
+      let limit = pattern_limit scale pattern in
+      ignore (Catalog.gb ~limit ~time_budget_ms:budget_ms d.Workload.net pattern);
+      ignore (Catalog.pb ~limit d.Workload.net tables pattern))
+    (patterns_for d);
+  Obs.disable ();
+  let counters = List.filter (fun (_, v) -> v > 0) (Obs.counters ()) in
+  Obs.reset ();
+  counters
 
 (* The sweep uses a tighter budget than the headline tables: each
    (pattern, jobs) cell repeats the whole search, and the point is the
@@ -169,6 +190,7 @@ let sweep_dataset scale d =
     l3_rows = Tables.n_rows tables.Catalog.l3;
     chain_rows = Option.map Tables.n_rows tables.Catalog.c2;
     sweeps;
+    obs = obs_snapshot scale d tables budget_ms;
   }
 
 let per_s instances ms = if ms > 0.0 then float_of_int instances /. (ms /. 1000.0) else 0.0
@@ -237,7 +259,10 @@ let write_json path ~scale_name results =
             s.points;
           add "        ] }%s\n" (if j < List.length r.sweeps - 1 then "," else ""))
         r.sweeps;
-      add "      ]\n";
+      add "      ],\n";
+      add "      \"obs\": { %s }\n"
+        (String.concat ", "
+           (List.map (fun (n, v) -> Printf.sprintf "\"%s\": %d" (json_escape n) v) r.obs));
       add "    }%s\n" (if i < List.length results - 1 then "," else ""))
     results;
   add "  ]\n";

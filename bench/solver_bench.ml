@@ -104,6 +104,33 @@ let measure_batch problems =
     (job_counts ())
 
 (* ------------------------------------------------------------------ *)
+(* Observability snapshot                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Obs = Tin_obs.Obs
+
+(* The timed runs above execute with observability disabled so the
+   measurements stay clean; this re-runs each (problem, solver) pair
+   once with counters on and reports the totals (LP iterations,
+   pivots, bound flips, refactorizations, ...) so BENCH_flow.json
+   tracks algorithmic work alongside wall time. *)
+let obs_snapshot problems =
+  Obs.reset ();
+  Obs.enable ();
+  List.iter
+    (fun (p : Extract.problem) ->
+      List.iter
+        (fun (_, solver) ->
+          ignore
+            (Lp_flow.solve ~solver p.Extract.graph ~source:p.Extract.source ~sink:p.Extract.sink))
+        solvers)
+    problems;
+  Obs.disable ();
+  let counters = List.filter (fun (_, v) -> v > 0) (Obs.counters ()) in
+  Obs.reset ();
+  counters
+
+(* ------------------------------------------------------------------ *)
 (* JSON output (hand-rolled: only strings, ints and floats appear)     *)
 (* ------------------------------------------------------------------ *)
 
@@ -125,6 +152,7 @@ type dataset_result = {
   n_problems : int;
   classes : class_summary list;
   batch : batch_run list;
+  obs : (string * int) list;
 }
 
 let write_json path ~scale_name results =
@@ -160,7 +188,10 @@ let write_json path ~scale_name results =
             br.jobs (json_float br.wall_ms) (json_float br.problems_per_s)
             (if j < List.length r.batch - 1 then "," else ""))
         r.batch;
-      add "      ]\n";
+      add "      ],\n";
+      add "      \"obs\": { %s }\n"
+        (String.concat ", "
+           (List.map (fun (n, v) -> Printf.sprintf "\"%s\": %d" (json_escape n) v) r.obs));
       add "    }%s\n" (if i < List.length results - 1 then "," else ""))
     results;
   add "  ]\n";
@@ -207,11 +238,13 @@ let run ?(json = "BENCH_flow.json") ~scale_name datasets =
         Printf.printf " ... solvers done%!";
         let batch = measure_batch d.Workload.problems in
         Printf.printf ", batch done\n%!";
+        let obs = obs_snapshot d.Workload.problems in
         {
           name;
           n_problems = List.length d.Workload.problems;
           classes = class_summaries measured;
           batch;
+          obs;
         })
       datasets
   in

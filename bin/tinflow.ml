@@ -35,6 +35,51 @@ let or_parse_error f =
 let load_csv file = or_parse_error (fun () -> Io.load_csv file)
 let load_csv_graph file = or_parse_error (fun () -> Io.load_csv_graph file)
 
+(* --- observability (--metrics / --trace, shared by every subcommand) --- *)
+
+let obs_term =
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Enable the observability counters (LP iterations/pivots, pipeline stages, pattern \
+             tickets, ...) and print a summary table to stderr on exit.")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record spans across all domains and write a Chrome-trace JSON array to $(docv) on \
+             exit (loadable in chrome://tracing or Perfetto).")
+  in
+  Term.(const (fun m t -> (m, t)) $ metrics $ trace)
+
+let with_obs (metrics, trace) run =
+  let module Obs = Tin_obs.Obs in
+  if metrics || trace <> None then begin
+    Obs.enable ();
+    let finish () =
+      Obs.disable ();
+      Option.iter
+        (fun path ->
+          Obs.write_chrome_trace path;
+          Printf.eprintf "tinflow: trace written to %s\n%!" path)
+        trace;
+      if metrics then Obs.print_summary stderr
+    in
+    match run () with
+    | code ->
+        finish ();
+        code
+    | exception e ->
+        finish ();
+        raise e
+  end
+  else run ()
+
 (* --- flow --- *)
 
 let method_conv =
@@ -89,8 +134,9 @@ let flow_cmd =
   let meth =
     Arg.(value & opt (some method_conv) None & info [ "method"; "m" ] ~docv:"METHOD" ~doc:"greedy | lp | pre | presim | timeexp (default: report greedy and presim).")
   in
-  let run file source sink split meth solver =
+  let run file source sink split meth solver obs =
     setup_logs ();
+    with_obs obs @@ fun () ->
     let g = load_csv_graph file in
     match
       match split with
@@ -131,7 +177,7 @@ let flow_cmd =
   in
   Cmd.v
     (Cmd.info "flow" ~doc:"Compute source-to-sink flow in an interaction network")
-    Term.(const run $ file_arg $ source $ sink $ split $ meth $ solver_arg)
+    Term.(const run $ file_arg $ source $ sink $ split $ meth $ solver_arg $ obs_term)
 
 (* --- batch --- *)
 
@@ -158,8 +204,9 @@ let batch_cmd =
   let max_subgraphs =
     Arg.(value & opt int max_int & info [ "max-subgraphs" ] ~docv:"N" ~doc:"Stop after N subgraphs.")
   in
-  let run file jobs meth solver max_interactions max_subgraphs =
+  let run file jobs meth solver max_interactions max_subgraphs obs =
     setup_logs ();
+    with_obs obs @@ fun () ->
     if (match jobs with Some j -> j < 1 | None -> false) then begin
       prerr_endline "tinflow: --jobs must be positive";
       exit 2
@@ -193,7 +240,9 @@ let batch_cmd =
   Cmd.v
     (Cmd.info "batch"
        ~doc:"Compute the flow of every extracted cycle subgraph, in parallel across cores")
-    Term.(const run $ file_arg $ jobs $ meth $ solver_arg $ max_interactions $ max_subgraphs)
+    Term.(
+      const run $ file_arg $ jobs $ meth $ solver_arg $ max_interactions $ max_subgraphs
+      $ obs_term)
 
 (* --- paths (flow decomposition) --- *)
 
@@ -201,8 +250,9 @@ let paths_cmd =
   let source = Arg.(required & opt (some int) None & info [ "source"; "s" ] ~docv:"VERTEX" ~doc:"Source vertex.") in
   let sink = Arg.(required & opt (some int) None & info [ "sink"; "t" ] ~docv:"VERTEX" ~doc:"Sink vertex.") in
   let top = Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc:"Show the N heaviest routes.") in
-  let run file source sink top =
+  let run file source sink top obs =
     setup_logs ();
+    with_obs obs @@ fun () ->
     let g = load_csv_graph file in
     let value, routes = Tin_core.Decompose.max_flow_paths g ~source ~sink in
     Printf.printf "maximum flow: %g across %d temporal routes\n" value (List.length routes);
@@ -223,7 +273,7 @@ let paths_cmd =
   in
   Cmd.v
     (Cmd.info "paths" ~doc:"Decompose the maximum flow into temporal source-to-sink routes")
-    Term.(const run $ file_arg $ source $ sink $ top)
+    Term.(const run $ file_arg $ source $ sink $ top $ obs_term)
 
 (* --- profile --- *)
 
@@ -231,8 +281,9 @@ let profile_cmd =
   let source = Arg.(required & opt (some int) None & info [ "source"; "s" ] ~docv:"VERTEX" ~doc:"Source vertex.") in
   let sink = Arg.(required & opt (some int) None & info [ "sink"; "t" ] ~docv:"VERTEX" ~doc:"Sink vertex.") in
   let greedy = Arg.(value & flag & info [ "greedy" ] ~doc:"Greedy profile (single scan) instead of per-prefix maximum flows.") in
-  let run file source sink greedy =
+  let run file source sink greedy obs =
     setup_logs ();
+    with_obs obs @@ fun () ->
     let g = load_csv_graph file in
     let profile =
       if greedy then Tin_core.Window.greedy_profile g ~source ~sink
@@ -244,7 +295,7 @@ let profile_cmd =
   in
   Cmd.v
     (Cmd.info "profile" ~doc:"Flow accumulated at the sink as a function of time (CSV output)")
-    Term.(const run $ file_arg $ source $ sink $ greedy)
+    Term.(const run $ file_arg $ source $ sink $ greedy $ obs_term)
 
 (* --- patterns --- *)
 
@@ -282,8 +333,9 @@ let patterns_cmd =
       & info [ "time-budget-ms" ] ~docv:"MS"
           ~doc:"Wall-clock budget per pattern; searches past it stop early and are marked with '*'.")
   in
-  let run file which custom limit use_pb hybrid jobs time_budget =
+  let run file which custom limit use_pb hybrid jobs time_budget obs =
     setup_logs ();
+    with_obs obs @@ fun () ->
     (match jobs with
     | Some j when j < 1 ->
         prerr_endline "tinflow: --jobs must be positive";
@@ -338,7 +390,9 @@ let patterns_cmd =
   in
   Cmd.v
     (Cmd.info "patterns" ~doc:"Enumerate flow patterns and their maximum flows")
-    Term.(const run $ file_arg $ which $ custom $ limit $ use_pb $ hybrid $ jobs $ time_budget)
+    Term.(
+      const run $ file_arg $ which $ custom $ limit $ use_pb $ hybrid $ jobs $ time_budget
+      $ obs_term)
 
 (* --- verify --- *)
 
@@ -373,10 +427,16 @@ let verify_cmd =
   in
   let print_outcome (o : Verify.outcome) =
     List.iter (fun (name, v) -> Printf.printf "  %-16s %g\n" name v) o.Verify.values;
-    List.iter (fun d -> Format.printf "  %a@." Verify.pp_discrepancy d) o.Verify.discrepancies
+    List.iter (fun d -> Format.printf "  %a@." Verify.pp_discrepancy d) o.Verify.discrepancies;
+    List.iter
+      (fun (oracle, counters) ->
+        Printf.printf "  obs %-12s %s\n" oracle
+          (String.concat " " (List.map (fun (n, v) -> Printf.sprintf "%s=%d" n v) counters)))
+      o.Verify.obs
   in
-  let run network source sink seed cases inject dump =
+  let run network source sink seed cases inject dump obs =
     setup_logs ();
+    with_obs obs @@ fun () ->
     let extra = match inject with None -> [] | Some delta -> [ Verify.perturbed ~delta () ] in
     Option.iter (fun dir -> if not (Sys.file_exists dir) then Sys.mkdir dir 0o755) dump;
     match network with
@@ -439,7 +499,7 @@ let verify_cmd =
        ~doc:
          "Differentially test every flow oracle (greedy, LP solvers, time-expanded algorithms, \
           accelerated pipeline) against each other on randomized or given networks")
-    Term.(const run $ network $ source $ sink $ seed $ cases $ inject $ dump)
+    Term.(const run $ network $ source $ sink $ seed $ cases $ inject $ dump $ obs_term)
 
 (* --- generate --- *)
 
@@ -453,8 +513,9 @@ let generate_cmd =
     Arg.(value & opt float 0.1 & info [ "factor" ] ~docv:"F" ~doc:"Scale factor on the spec sizes.")
   in
   let out = Arg.(required & pos 0 (some string) None & info [] ~docv:"OUT.csv" ~doc:"Output file.") in
-  let run out dataset seed factor =
+  let run out dataset seed factor obs =
     setup_logs ();
+    with_obs obs @@ fun () ->
     let spec =
       Tin_datasets.Spec.scaled ~factor
         (match dataset with
@@ -472,22 +533,23 @@ let generate_cmd =
   in
   Cmd.v
     (Cmd.info "generate" ~doc:"Generate a synthetic interaction network CSV")
-    Term.(const run $ out $ dataset $ seed $ factor)
+    Term.(const run $ out $ dataset $ seed $ factor $ obs_term)
 
 (* --- dot --- *)
 
 let dot_cmd =
   let source = Arg.(value & opt (some int) None & info [ "source" ] ~docv:"V" ~doc:"Highlight as source.") in
   let sink = Arg.(value & opt (some int) None & info [ "sink" ] ~docv:"V" ~doc:"Highlight as sink.") in
-  let run file source sink =
+  let run file source sink obs =
     setup_logs ();
+    with_obs obs @@ fun () ->
     let g = load_csv_graph file in
     print_string (Io.to_dot ?source ?sink g);
     0
   in
   Cmd.v
     (Cmd.info "dot" ~doc:"Render an interaction network to GraphViz")
-    Term.(const run $ file_arg $ source $ sink)
+    Term.(const run $ file_arg $ source $ sink $ obs_term)
 
 let () =
   let info =

@@ -1,3 +1,10 @@
+module Obs = Tin_obs.Obs
+
+(* Chunk spans land on the recording domain's trace row (the span's
+   [tid] is the domain id), so a trace shows how work spread over
+   domains.  Args are built lazily: disabled runs must not allocate. *)
+let span name args f = if Obs.tracking () then Obs.Span.with_ name ~args:(args ()) f else f ()
+
 type problem = { graph : Graph.t; source : Graph.vertex; sink : Graph.vertex }
 
 let recommended_jobs () = Domain.recommended_domain_count ()
@@ -25,13 +32,16 @@ let map ?jobs ?(chunk = 4) f items =
         let start = Atomic.fetch_and_add next chunk in
         if start < n then begin
           let stop = min n (start + chunk) in
-          for i = start to stop - 1 do
-            results.(i) <-
-              Some
-                (match f items.(i) with
-                | v -> Ok v
-                | exception e -> Error (e, Printexc.get_raw_backtrace ()))
-          done;
+          span "batch.map.chunk"
+            (fun () -> [ ("start", string_of_int start); ("stop", string_of_int stop) ])
+            (fun () ->
+              for i = start to stop - 1 do
+                results.(i) <-
+                  Some
+                    (match f items.(i) with
+                    | v -> Ok v
+                    | exception e -> Error (e, Printexc.get_raw_backtrace ()))
+              done);
           loop ()
         end
       in
@@ -80,13 +90,16 @@ let map_reduce ?jobs ?(chunk = 16) ?stop ~n ~init ~body ~merge () =
           if c < n_chunks then begin
             let hi = min n ((c + 1) * chunk) in
             (match
-               let acc = init () in
-               let i = ref (c * chunk) in
-               while !i < hi && not (stopped ()) do
-                 body acc !i;
-                 incr i
-               done;
-               acc
+               span "batch.map_reduce.chunk"
+                 (fun () -> [ ("chunk", string_of_int c); ("hi", string_of_int hi) ])
+                 (fun () ->
+                   let acc = init () in
+                   let i = ref (c * chunk) in
+                   while !i < hi && not (stopped ()) do
+                     body acc !i;
+                     incr i
+                   done;
+                   acc)
              with
             | acc -> slots.(c) <- Some (Ok acc)
             | exception e -> slots.(c) <- Some (Error (e, Printexc.get_raw_backtrace ())));

@@ -1,3 +1,7 @@
+module Obs = Tin_obs.Obs
+
+let c_touches = Obs.Counter.make "greedy.buffer_touches"
+
 type transfer = {
   src : Graph.vertex;
   dst : Graph.vertex;
@@ -34,6 +38,9 @@ let scan g ~source ~sink ~on_transfer =
   in
   Hashtbl.replace st.avail source infinity;
   let current = ref nan in
+  (* Buffer touches are counted in a plain local and published once
+     after the scan: the per-interaction loop stays probe-free. *)
+  let touches = ref 0 in
   Array.iter
     (fun (v, u, i) ->
       let tm = Interaction.time i and q = Interaction.qty i in
@@ -49,11 +56,13 @@ let scan g ~source ~sink ~on_transfer =
       if moved > 0.0 then begin
         if v <> st.source then Hashtbl.replace st.avail v (b -. moved);
         if get st.pending u = 0.0 then st.dirty <- u :: st.dirty;
-        Hashtbl.replace st.pending u (get st.pending u +. moved)
+        Hashtbl.replace st.pending u (get st.pending u +. moved);
+        incr touches
       end;
       on_transfer { src = v; dst = u; time = tm; offered = q; moved })
     (Graph.interactions_sorted g);
   flush st;
+  Obs.Counter.add c_touches !touches;
   (get st.avail sink, st)
 
 let flow g ~source ~sink =

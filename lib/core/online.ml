@@ -1,3 +1,7 @@
+module Obs = Tin_obs.Obs
+
+let c_touches = Obs.Counter.make "online.buffer_touches"
+
 type t = {
   source : Graph.vertex;
   sink : Graph.vertex;
@@ -51,7 +55,8 @@ let push t ~src ~dst i =
   if moved > 0.0 then begin
     if src <> t.source then Hashtbl.replace t.avail src (b -. moved);
     if get t.pending dst = 0.0 then t.dirty <- dst :: t.dirty;
-    Hashtbl.replace t.pending dst (get t.pending dst +. moved)
+    Hashtbl.replace t.pending dst (get t.pending dst +. moved);
+    Obs.Counter.incr c_touches
   end;
   moved
 

@@ -1,3 +1,9 @@
+module Obs = Tin_obs.Obs
+
+let c_iters = Obs.Counter.make "lp.bounded.iters"
+let c_pivots = Obs.Counter.make "lp.bounded.pivots"
+let c_flips = Obs.Counter.make "lp.bounded.bound_flips"
+
 type outcome =
   | Optimal of { objective : float; solution : float array }
   | Unbounded
@@ -13,8 +19,22 @@ type outcome =
 
    The origin (all structural variables at 0, slacks basic at rhs) is
    feasible because rhs >= 0, so no phase 1 is needed. *)
-let solve ?(eps = Tin_util.Fcmp.(default_policy.pivot_eps)) ?(max_iters = 50_000) ~c ~upper ~rows () =
+let solve ?(eps = Tin_util.Fcmp.(default_policy.pivot_eps)) ?(max_iters = 50_000) ?metrics ~c
+    ~upper ~rows () =
   let n = Array.length c in
+  let npivots = ref 0 and nflips = ref 0 in
+  let record outcome =
+    Obs.Counter.add c_iters (!npivots + !nflips);
+    Obs.Counter.add c_pivots !npivots;
+    Obs.Counter.add c_flips !nflips;
+    (match metrics with
+    | Some (m : Solver_metrics.t) ->
+        m.iterations <- m.iterations + !npivots + !nflips;
+        m.pivots <- m.pivots + !npivots;
+        m.bound_flips <- m.bound_flips + !nflips
+    | None -> ());
+    outcome
+  in
   if Array.length upper <> n then invalid_arg "Bounded.solve: bounds arity mismatch";
   Array.iter
     (fun u -> if Float.is_nan u || u < 0.0 then invalid_arg "Bounded.solve: bad upper bound")
@@ -46,9 +66,11 @@ let solve ?(eps = Tin_util.Fcmp.(default_policy.pivot_eps)) ?(max_iters = 50_000
   let obj = Array.make ncols 0.0 in
   Array.blit c 0 obj 0 n;
   let bland_after = 200 + (20 * (m + ncols)) in
+  (* The [max_iters] budget is checked only after pricing has found an
+     improving variable, so it bounds pivots + bound flips exactly (see
+     {!Solver_metrics}). *)
   let rec iterate k =
-    if k > max_iters then Iteration_limit
-    else begin
+    begin
       let bland = k > bland_after in
       (* Entering variable: improving means d_j > 0 at lower bound or
          d_j < 0 at upper bound. *)
@@ -86,6 +108,7 @@ let solve ?(eps = Tin_util.Fcmp.(default_policy.pivot_eps)) ?(max_iters = 50_000
         done;
         Optimal { objective = !objective; solution }
       end
+      else if k >= max_iters then Iteration_limit
       else begin
         let q = !q in
         let sigma = if at_upper.(q) then -1.0 else 1.0 in
@@ -134,6 +157,7 @@ let solve ?(eps = Tin_util.Fcmp.(default_policy.pivot_eps)) ?(max_iters = 50_000
           if !block < 0 then begin
             (* Bound flip: q jumps to its other bound; no pivot. *)
             at_upper.(q) <- not at_upper.(q);
+            incr nflips;
             iterate (k + 1)
           end
           else begin
@@ -173,10 +197,11 @@ let solve ?(eps = Tin_util.Fcmp.(default_policy.pivot_eps)) ?(max_iters = 50_000
             at_upper.(p) <- !block_at_upper;
             at_upper.(q) <- false;
             b.(r) <- vq;
+            incr npivots;
             iterate (k + 1)
           end
         end
       end
     end
   in
-  iterate 0
+  record (iterate 0)

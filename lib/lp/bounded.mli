@@ -23,6 +23,7 @@ type outcome =
 val solve :
   ?eps:float ->
   ?max_iters:int ->
+  ?metrics:Solver_metrics.t ->
   c:float array ->
   upper:float array ->
   rows:(float array * float) list ->
@@ -31,4 +32,9 @@ val solve :
 (** [solve ~c ~upper ~rows ()] maximizes [c·x] subject to
     [coefs·x ≤ rhs] for each row and [0 ≤ x_j ≤ upper.(j)].
     @param eps pivot tolerance (default [Tin_util.Fcmp.default_policy.pivot_eps]).
-    @param max_iters hard cap (default [50_000]). *)
+    @param max_iters exact budget on pivots + bound flips (default
+    [50_000]): a run needing [p] of them returns its result with
+    [max_iters = p] and [Iteration_limit] with [max_iters = p - 1].
+    @param metrics accumulates work counts into the given record
+    (see {!Solver_metrics}); also feeds the [lp.bounded.*]
+    observability counters ({!Tin_obs.Obs}). *)

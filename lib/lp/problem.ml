@@ -80,7 +80,7 @@ type solver = [ `Auto | `Dense | `Bounded | `Sparse ]
 let sparse_min_cells = 4096
 let sparse_max_density = 0.25
 
-let solve ?(solver = `Auto) ?eps ?max_iters t =
+let solve ?(solver = `Auto) ?eps ?max_iters ?metrics t =
   t.frozen <- true;
   let vars = Array.sub t.vars 0 t.nvars in
   let nv = Array.length vars in
@@ -175,8 +175,9 @@ let solve ?(solver = `Auto) ?eps ?max_iters t =
     upper
   in
   let outcome =
-    match choice with
-    | `Sparse ->
+    let compute () =
+      match choice with
+      | `Sparse ->
         (* Build CSC storage straight from the term lists — no
            densification.  [t.rows] is reversed, so row [k] of the list
            is constraint [nrows - 1 - k]; duplicate terms may produce
@@ -198,7 +199,9 @@ let solve ?(solver = `Auto) ?eps ?max_iters t =
               terms;
             srhs.(i) <- rhs -. !const)
           t.rows;
-        (match Sparse.solve ?eps ?max_iters ~c ~upper:(native_upper ()) ~rhs:srhs ~cols () with
+        (match
+           Sparse.solve ?eps ?max_iters ?metrics ~c ~upper:(native_upper ()) ~rhs:srhs ~cols ()
+         with
         | Sparse.Optimal { objective; solution } -> Simplex.Optimal { objective; solution }
         | Sparse.Unbounded -> Simplex.Unbounded
         | Sparse.Iteration_limit -> Simplex.Iteration_limit)
@@ -210,7 +213,7 @@ let solve ?(solver = `Auto) ?eps ?max_iters t =
               (coefs, rhs -. const))
             t.rows
         in
-        (match Bounded.solve ?eps ?max_iters ~c ~upper:(native_upper ()) ~rows:brows () with
+        (match Bounded.solve ?eps ?max_iters ?metrics ~c ~upper:(native_upper ()) ~rows:brows () with
         | Bounded.Optimal { objective; solution } -> Simplex.Optimal { objective; solution }
         | Bounded.Unbounded -> Simplex.Unbounded
         | Bounded.Iteration_limit -> Simplex.Iteration_limit)
@@ -229,7 +232,21 @@ let solve ?(solver = `Auto) ?eps ?max_iters t =
               rows := (coefs, Simplex.Le, ub -. const) :: !rows
             end)
           vars;
-        Simplex.solve ?eps ?max_iters ~c ~rows:!rows ()
+        Simplex.solve ?eps ?max_iters ?metrics ~c ~rows:!rows ()
+    in
+    (* Span args are only materialized when tracing is on: the disabled
+       path must not allocate. *)
+    if Tin_obs.Obs.tracking () then
+      Tin_obs.Obs.Span.with_ "lp.solve"
+        ~args:
+          [
+            ( "solver",
+              match choice with `Sparse -> "sparse" | `Bounded -> "bounded" | `Dense -> "dense" );
+            ("vars", string_of_int n);
+            ("rows", string_of_int t.nrows);
+          ]
+        compute
+    else compute ()
   in
   match outcome with
   | Simplex.Optimal { solution; _ } ->

@@ -54,7 +54,14 @@ type solver = [ `Auto | `Dense | `Bounded | `Sparse ]
     constraint matrix is large ([rows × cols ≥ 4096]) and sparse
     (density ≤ 0.25), and [`Bounded] otherwise. *)
 
-val solve : ?solver:solver -> ?eps:float -> ?max_iters:int -> t -> solution
+val solve :
+  ?solver:solver -> ?eps:float -> ?max_iters:int -> ?metrics:Solver_metrics.t -> t -> solution
 (** Solves the problem.  The builder is frozen afterwards.
+
+    [metrics] accumulates the backend's work counts (iterations,
+    pivots, bound flips, refactorizations) into the given record; the
+    same counts always feed the [lp.*] observability counters, and the
+    whole call is wrapped in an ["lp.solve"] span (with solver, vars
+    and rows args) when {!Tin_obs.Obs} tracing is enabled.
     @raise Invalid_argument if [`Bounded] or [`Sparse] is forced on a
     problem outside its shape. *)

@@ -1,3 +1,9 @@
+module Obs = Tin_obs.Obs
+
+let c_phase1 = Obs.Counter.make "lp.dense.phase1_iters"
+let c_phase2 = Obs.Counter.make "lp.dense.phase2_iters"
+let c_pivots = Obs.Counter.make "lp.dense.pivots"
+
 type sense = Le | Ge | Eq
 
 type outcome =
@@ -63,63 +69,82 @@ let pivot tab ~obj ~obj_rhs ~row ~col =
 (* One simplex phase: maximize the cost encoded in [obj] (entries are
    [c_j - z_j]; positive means improving).  [allowed j] filters pivot
    columns (used to ban artificials in phase 2).  Returns [`Optimal],
-   [`Unbounded] or [`Iteration_limit]. *)
-let run_phase tab ~obj ~obj_rhs ~allowed ~eps ~max_iters =
+   [`Unbounded] or [`Iteration_limit].  [niters] accumulates the number
+   of pivots performed.
+
+   The [max_iters] budget is checked only once an improving column has
+   been found, so it bounds the number of pivots {e exactly}: a phase
+   that reaches optimality in [p] pivots returns [`Optimal] with
+   [max_iters = p] and [`Iteration_limit] with [max_iters = p - 1]. *)
+let run_phase tab ~obj ~obj_rhs ~allowed ~eps ~max_iters ~niters =
   let ncols = tab.ncols in
   let bland_after = 200 + (20 * (tab.m + ncols)) in
   let rec iterate k =
-    if k > max_iters then `Iteration_limit
+    let bland = k > bland_after in
+    (* Entering column. *)
+    let col = ref (-1) in
+    if bland then begin
+      (* Bland: first improving column. *)
+      let j = ref 0 in
+      while !col < 0 && !j < ncols do
+        if allowed !j && obj.(!j) > eps then col := !j;
+        incr j
+      done
+    end
     else begin
-      let bland = k > bland_after in
-      (* Entering column. *)
-      let col = ref (-1) in
-      if bland then begin
-        (* Bland: first improving column. *)
-        let j = ref 0 in
-        while !col < 0 && !j < ncols do
-          if allowed !j && obj.(!j) > eps then col := !j;
-          incr j
-        done
-      end
-      else begin
-        (* Dantzig: most improving column. *)
-        let best = ref eps in
-        for j = 0 to ncols - 1 do
-          if allowed j && obj.(j) > !best then begin
-            best := obj.(j);
-            col := j
-          end
-        done
-      end;
-      if !col < 0 then `Optimal
-      else begin
-        (* Ratio test. *)
-        let row = ref (-1) and best = ref infinity in
-        for i = 0 to tab.m - 1 do
-          let a = tab.t.(i).(!col) in
-          if a > eps then begin
-            let ratio = tab.rhs.(i) /. a in
-            if
-              ratio < !best -. 1e-12
-              || (ratio < !best +. 1e-12 && !row >= 0 && tab.basis.(i) < tab.basis.(!row))
-            then begin
-              best := ratio;
-              row := i
-            end
-          end
-        done;
-        if !row < 0 then `Unbounded
-        else begin
-          pivot tab ~obj ~obj_rhs ~row:!row ~col:!col;
-          iterate (k + 1)
+      (* Dantzig: most improving column. *)
+      let best = ref eps in
+      for j = 0 to ncols - 1 do
+        if allowed j && obj.(j) > !best then begin
+          best := obj.(j);
+          col := j
         end
+      done
+    end;
+    if !col < 0 then `Optimal
+    else if k >= max_iters then `Iteration_limit
+    else begin
+      (* Ratio test. *)
+      let row = ref (-1) and best = ref infinity in
+      for i = 0 to tab.m - 1 do
+        let a = tab.t.(i).(!col) in
+        if a > eps then begin
+          let ratio = tab.rhs.(i) /. a in
+          if
+            ratio < !best -. 1e-12
+            || (ratio < !best +. 1e-12 && !row >= 0 && tab.basis.(i) < tab.basis.(!row))
+          then begin
+            best := ratio;
+            row := i
+          end
+        end
+      done;
+      if !row < 0 then `Unbounded
+      else begin
+        pivot tab ~obj ~obj_rhs ~row:!row ~col:!col;
+        incr niters;
+        iterate (k + 1)
       end
     end
   in
   iterate 0
 
-let solve ?(eps = Tin_util.Fcmp.(default_policy.pivot_eps)) ?(max_iters = 50_000) ~c ~rows () =
+let solve ?(eps = Tin_util.Fcmp.(default_policy.pivot_eps)) ?(max_iters = 50_000) ?metrics ~c
+    ~rows () =
   let n = Array.length c in
+  let n1 = ref 0 and n2 = ref 0 in
+  let record outcome =
+    Obs.Counter.add c_phase1 !n1;
+    Obs.Counter.add c_phase2 !n2;
+    Obs.Counter.add c_pivots (!n1 + !n2);
+    (match metrics with
+    | Some (m : Solver_metrics.t) ->
+        m.phase1_iterations <- m.phase1_iterations + !n1;
+        m.iterations <- m.iterations + !n1 + !n2;
+        m.pivots <- m.pivots + !n1 + !n2
+    | None -> ());
+    outcome
+  in
   List.iter
     (fun (coefs, _, _) ->
       if Array.length coefs <> n then invalid_arg "Simplex.solve: row arity mismatch")
@@ -189,7 +214,9 @@ let solve ?(eps = Tin_util.Fcmp.(default_policy.pivot_eps)) ?(max_iters = 50_000
     Array.blit c 0 cost 0 n;
     let obj, obj_rhs = make_obj cost in
     match
-      run_phase tab ~obj ~obj_rhs ~allowed:(fun j -> not (is_artificial j)) ~eps ~max_iters
+      run_phase tab ~obj ~obj_rhs
+        ~allowed:(fun j -> not (is_artificial j))
+        ~eps ~max_iters ~niters:n2
     with
     | `Optimal ->
         let solution = Array.make n 0.0 in
@@ -202,6 +229,8 @@ let solve ?(eps = Tin_util.Fcmp.(default_policy.pivot_eps)) ?(max_iters = 50_000
     | `Unbounded -> Unbounded
     | `Iteration_limit -> Iteration_limit
   in
+  record
+  @@
   if na = 0 then phase2 ()
   else begin
     (* Phase 1: maximize -sum(artificials). *)
@@ -210,7 +239,7 @@ let solve ?(eps = Tin_util.Fcmp.(default_policy.pivot_eps)) ?(max_iters = 50_000
       cost.(j) <- -1.0
     done;
     let obj, obj_rhs = make_obj cost in
-    match run_phase tab ~obj ~obj_rhs ~allowed:(fun _ -> true) ~eps ~max_iters with
+    match run_phase tab ~obj ~obj_rhs ~allowed:(fun _ -> true) ~eps ~max_iters ~niters:n1 with
     | `Unbounded -> Infeasible (* cannot happen: phase-1 objective is bounded by 0 *)
     | `Iteration_limit -> Iteration_limit
     | `Optimal ->

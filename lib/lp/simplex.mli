@@ -27,6 +27,7 @@ type outcome =
 val solve :
   ?eps:float ->
   ?max_iters:int ->
+  ?metrics:Solver_metrics.t ->
   c:float array ->
   rows:(float array * sense * float) list ->
   unit ->
@@ -36,4 +37,9 @@ val solve :
     must have the same length as [c].
 
     @param eps pivot/zero tolerance (default [Tin_util.Fcmp.default_policy.pivot_eps]).
-    @param max_iters hard iteration cap (default [50_000]). *)
+    @param max_iters pivot budget {e per phase} (default [50_000]).
+    The budget is exact: a phase needing [p] pivots returns its result
+    with [max_iters = p] and [Iteration_limit] with [max_iters = p - 1].
+    @param metrics accumulates pivot counts into the given record
+    (see {!Solver_metrics}); the same counts also feed the
+    [lp.dense.*] observability counters ({!Tin_obs.Obs}). *)

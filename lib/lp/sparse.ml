@@ -1,3 +1,11 @@
+module Obs = Tin_obs.Obs
+
+let c_iters = Obs.Counter.make "lp.sparse.iters"
+let c_pivots = Obs.Counter.make "lp.sparse.pivots"
+let c_flips = Obs.Counter.make "lp.sparse.bound_flips"
+let c_refact = Obs.Counter.make "lp.sparse.refactorizations"
+let c_eta_resets = Obs.Counter.make "lp.sparse.eta_resets"
+
 type outcome =
   | Optimal of { objective : float; solution : float array }
   | Unbounded
@@ -25,9 +33,26 @@ type outcome =
 
 type eta = { er : int; wr : float; ew : (int * float) array (* excludes er *) }
 
-let solve ?(eps = Tin_util.Fcmp.(default_policy.pivot_eps)) ?(max_iters = 50_000) ?(refactor_every = 64) ~c ~upper ~rhs ~cols () =
+let solve ?(eps = Tin_util.Fcmp.(default_policy.pivot_eps)) ?(max_iters = 50_000)
+    ?(refactor_every = 64) ?metrics ~c ~upper ~rhs ~cols () =
   let n = Array.length c in
   let m = Array.length rhs in
+  let npivots = ref 0 and nflips = ref 0 and nretries = ref 0 and nrefact = ref 0 in
+  let record outcome =
+    Obs.Counter.add c_iters (!npivots + !nflips + !nretries);
+    Obs.Counter.add c_pivots !npivots;
+    Obs.Counter.add c_flips !nflips;
+    Obs.Counter.add c_refact !nrefact;
+    Obs.Counter.add c_eta_resets !nretries;
+    (match metrics with
+    | Some (mt : Solver_metrics.t) ->
+        mt.iterations <- mt.iterations + !npivots + !nflips + !nretries;
+        mt.pivots <- mt.pivots + !npivots;
+        mt.bound_flips <- mt.bound_flips + !nflips;
+        mt.refactorizations <- mt.refactorizations + !nrefact
+    | None -> ());
+    outcome
+  in
   if Array.length upper <> n then invalid_arg "Sparse.solve: bounds arity mismatch";
   if Array.length cols <> n then invalid_arg "Sparse.solve: column arity mismatch";
   if refactor_every < 1 then invalid_arg "Sparse.solve: refactor_every must be positive";
@@ -103,6 +128,7 @@ let solve ?(eps = Tin_util.Fcmp.(default_policy.pivot_eps)) ?(max_iters = 50_000
   let y = Array.make m 0.0 (* simplex multipliers *) in
   let base_etas = ref 0 (* eta count right after the last reinversion *) in
   let refactorize () =
+    incr nrefact;
     neta := 0;
     let newbasis = Array.make m (-1) in
     let assigned = Array.make m false in
@@ -258,13 +284,17 @@ let solve ?(eps = Tin_util.Fcmp.(default_policy.pivot_eps)) ?(max_iters = 50_000
     Optimal { objective = !objective; solution }
   in
   let bland_after = 200 + (20 * (m + ncols)) in
+  (* The [max_iters] budget is checked only after pricing has found an
+     improving variable, so it bounds the budgeted work passes (pivots,
+     bound flips, refactorize-retries) exactly (see
+     {!Solver_metrics}). *)
   let rec iterate k =
-    if k > max_iters then Iteration_limit
-    else begin
+    begin
       if !neta - !base_etas >= refactor_every then refactorize ();
       compute_y ();
       let q = pick_entering ~bland:(k > bland_after) in
       if q < 0 then finish ()
+      else if k >= max_iters then Iteration_limit
       else begin
         Array.fill w 0 m 0.0;
         scatter q w;
@@ -307,6 +337,7 @@ let solve ?(eps = Tin_util.Fcmp.(default_policy.pivot_eps)) ?(max_iters = 50_000
         else if !block >= 0 && Float.abs w.(!block) < 1e-7 && !neta > !base_etas then begin
           (* The pivot element is too small to trust through a long eta
              file; refactorize and redo the iteration on fresh numbers. *)
+          incr nretries;
           refactorize ();
           iterate (k + 1)
         end
@@ -322,6 +353,7 @@ let solve ?(eps = Tin_util.Fcmp.(default_policy.pivot_eps)) ?(max_iters = 50_000
           if !block < 0 then begin
             (* Bound flip: q jumps to its other bound; no basis change. *)
             at_upper.(q) <- not at_upper.(q);
+            incr nflips;
             iterate (k + 1)
           end
           else begin
@@ -339,10 +371,11 @@ let solve ?(eps = Tin_util.Fcmp.(default_policy.pivot_eps)) ?(max_iters = 50_000
             at_upper.(p) <- !block_at_upper;
             at_upper.(q) <- false;
             xb.(r) <- vq;
+            incr npivots;
             iterate (k + 1)
           end
         end
       end
     end
   in
-  iterate 0
+  record (iterate 0)

@@ -21,6 +21,7 @@ val solve :
   ?eps:float ->
   ?max_iters:int ->
   ?refactor_every:int ->
+  ?metrics:Solver_metrics.t ->
   c:float array ->
   upper:float array ->
   rhs:float array ->
@@ -35,5 +36,12 @@ val solve :
     [upper] entries non-negative ([infinity] allowed).
     [refactor_every] bounds the eta-file length between
     refactorizations (default 64; mainly a testing knob).
+
+    [max_iters] is an exact budget on the work passes (pivots, bound
+    flips and defensive refactorize-retries): a run needing [p] of them
+    returns its result with [max_iters = p] and [Iteration_limit] with
+    [max_iters = p - 1].  [metrics] accumulates the work counts into
+    the given record (see {!Solver_metrics}); the same counts also feed
+    the [lp.sparse.*] observability counters ({!Tin_obs.Obs}).
     @raise Invalid_argument on arity mismatches, negative [rhs] or
     [upper], or out-of-range row indices. *)

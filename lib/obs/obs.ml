@@ -1,0 +1,314 @@
+module Stats = Tin_util.Stats
+module Timer = Tin_util.Timer
+module Table = Tin_util.Table
+
+let enabled : bool Atomic.t = Atomic.make false
+let tracking () = Atomic.get enabled
+let enable () = Atomic.set enabled true
+let disable () = Atomic.set enabled false
+
+(* One cell per (metric, domain).  The domain-local key materializes a
+   fresh cell on a domain's first touch and registers it in the
+   metric's lock-free cell list; after that the hot path is a
+   domain-local lookup plus a plain mutation of a cell no other domain
+   writes.  Reads merge the full cell list.  Cells of finished domains
+   stay registered (they still hold counts) — [reset] zeroes them in
+   place rather than dropping them, so live domains keep their
+   binding. *)
+module Shard = struct
+  type 'a t = { cells : 'a list Atomic.t; key : 'a Domain.DLS.key }
+
+  let create make =
+    let cells = Atomic.make [] in
+    let key =
+      Domain.DLS.new_key (fun () ->
+          let c = make () in
+          let rec push () =
+            let old = Atomic.get cells in
+            if not (Atomic.compare_and_set cells old (c :: old)) then push ()
+          in
+          push ();
+          c)
+    in
+    { cells; key }
+
+  let local t = Domain.DLS.get t.key
+  let all t = Atomic.get t.cells
+end
+
+module Counter0 = struct
+  type cell = { mutable n : int }
+  type t = { name : string; shard : cell Shard.t }
+
+  let incr c = if Atomic.get enabled then (Shard.local c.shard).n <- (Shard.local c.shard).n + 1
+
+  let add c k =
+    if k <> 0 && Atomic.get enabled then begin
+      let cell = Shard.local c.shard in
+      cell.n <- cell.n + k
+    end
+
+  let value c = List.fold_left (fun acc cell -> acc + cell.n) 0 (Shard.all c.shard)
+  let name c = c.name
+  let reset c = List.iter (fun cell -> cell.n <- 0) (Shard.all c.shard)
+  let create name = { name; shard = Shard.create (fun () -> { n = 0 }) }
+end
+
+module Histogram0 = struct
+  type cell = { mutable acc : Stats.Acc.t }
+  type t = { name : string; shard : cell Shard.t }
+
+  let observe h x = if Atomic.get enabled then Stats.Acc.add (Shard.local h.shard).acc x
+
+  let summary h =
+    let merged = Stats.Acc.create () in
+    List.iter (fun cell -> Stats.Acc.merge_into ~into:merged cell.acc) (Shard.all h.shard);
+    Stats.Acc.summary merged
+
+  let name h = h.name
+  let reset h = List.iter (fun cell -> cell.acc <- Stats.Acc.create ()) (Shard.all h.shard)
+  let create name = { name; shard = Shard.create (fun () -> { acc = Stats.Acc.create () }) }
+end
+
+type event = {
+  name : string;
+  ts_ns : int64;
+  dur_ns : int64;
+  tid : int;
+  args : (string * string) list;
+}
+
+(* --- registry (creation/lookup only; never on the hot path) --- *)
+
+type metric = C of Counter0.t | H of Histogram0.t
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let registry_lock = Mutex.create ()
+
+let find_or_create name make wrap unwrap =
+  Mutex.protect registry_lock (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some m -> (
+          match unwrap m with
+          | Some v -> v
+          | None -> invalid_arg ("Obs: metric name registered with another kind: " ^ name))
+      | None ->
+          let v = make name in
+          Hashtbl.replace registry name (wrap v);
+          v)
+
+module Counter = struct
+  include Counter0
+
+  let make name =
+    find_or_create name Counter0.create (fun c -> C c) (function C c -> Some c | H _ -> None)
+end
+
+module Histogram = struct
+  include Histogram0
+
+  let make name =
+    find_or_create name Histogram0.create (fun h -> H h) (function H h -> Some h | C _ -> None)
+end
+
+(* --- span buffers --- *)
+
+(* Per-domain bounded event buffers: an unbounded trace of a long
+   pattern search could otherwise exhaust memory.  Overflow is counted
+   and reported instead of silently dropped. *)
+let max_events_per_domain = 262_144
+
+type span_cell = { mutable evs : event list; mutable count : int; mutable dropped : int }
+
+let span_shard = Shard.create (fun () -> { evs = []; count = 0; dropped = 0 })
+
+module Span = struct
+  let record name args t0 t1 =
+    let cell = Shard.local span_shard in
+    if cell.count >= max_events_per_domain then cell.dropped <- cell.dropped + 1
+    else begin
+      cell.evs <-
+        { name; ts_ns = t0; dur_ns = Int64.sub t1 t0; tid = (Domain.self () :> int); args }
+        :: cell.evs;
+      cell.count <- cell.count + 1
+    end
+
+  let with_ ?(args = []) name f =
+    if not (Atomic.get enabled) then f ()
+    else begin
+      let t0 = Timer.now_ns () in
+      match f () with
+      | r ->
+          record name args t0 (Timer.now_ns ());
+          r
+      | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          record name (("exception", Printexc.to_string e) :: args) t0 (Timer.now_ns ());
+          Printexc.raise_with_backtrace e bt
+    end
+end
+
+(* --- reads --- *)
+
+let metrics () =
+  Mutex.protect registry_lock (fun () ->
+      Hashtbl.fold (fun _ m acc -> m :: acc) registry [])
+
+let counters () =
+  metrics ()
+  |> List.filter_map (function C c -> Some (Counter.name c, Counter.value c) | H _ -> None)
+  |> List.sort compare
+
+let histograms () =
+  metrics ()
+  |> List.filter_map (function H h -> Some (Histogram.name h, Histogram.summary h) | C _ -> None)
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let trace_events () =
+  Shard.all span_shard
+  |> List.concat_map (fun cell -> cell.evs)
+  |> List.sort (fun a b -> Int64.compare a.ts_ns b.ts_ns)
+
+let dropped_events () =
+  List.fold_left (fun acc cell -> acc + cell.dropped) 0 (Shard.all span_shard)
+
+let reset () =
+  List.iter (function C c -> Counter.reset c | H h -> Histogram.reset h) (metrics ());
+  List.iter
+    (fun cell ->
+      cell.evs <- [];
+      cell.count <- 0;
+      cell.dropped <- 0)
+    (Shard.all span_shard)
+
+(* --- JSON exporters (hand-rolled, like the bench harness: only
+   strings, ints and floats appear) --- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float f = if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
+
+let json_args args =
+  "{"
+  ^ String.concat ", "
+      (List.map (fun (k, v) -> Printf.sprintf "\"%s\": \"%s\"" (json_escape k) (json_escape v)) args)
+  ^ "}"
+
+(* Microseconds rebased to the earliest span: Chrome-trace viewers
+   expect small monotonic offsets, and a double keeps full precision
+   once the (huge) absolute clock origin is gone. *)
+let chrome_trace_json () =
+  let evs = trace_events () in
+  let base = match evs with [] -> 0L | e :: _ -> e.ts_ns in
+  let us ns = Int64.to_float (Int64.sub ns base) /. 1e3 in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "[\n";
+  let first = ref true in
+  let emit line =
+    if not !first then Buffer.add_string b ",\n";
+    first := false;
+    Buffer.add_string b line
+  in
+  let tids = List.sort_uniq compare (List.map (fun e -> e.tid) evs) in
+  List.iter
+    (fun tid ->
+      emit
+        (Printf.sprintf
+           "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": %d, \"args\": \
+            {\"name\": \"domain-%d\"}}"
+           tid tid))
+    tids;
+  List.iter
+    (fun e ->
+      emit
+        (Printf.sprintf
+           "  {\"name\": \"%s\", \"ph\": \"X\", \"ts\": %s, \"dur\": %s, \"pid\": 1, \"tid\": \
+            %d, \"args\": %s}"
+           (json_escape e.name)
+           (json_float (us e.ts_ns))
+           (json_float (Int64.to_float e.dur_ns /. 1e3))
+           e.tid (json_args e.args)))
+    evs;
+  (* Counters ride along as process-scoped instant events so a trace
+     file is self-contained. *)
+  List.iter
+    (fun (name, v) ->
+      if v <> 0 then
+        emit
+          (Printf.sprintf
+             "  {\"name\": \"%s\", \"ph\": \"i\", \"ts\": 0, \"pid\": 1, \"tid\": 0, \"s\": \
+              \"p\", \"args\": {\"value\": \"%d\"}}"
+             (json_escape name) v))
+    (counters ());
+  Buffer.add_string b "\n]\n";
+  Buffer.contents b
+
+let metrics_json () =
+  let b = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "{\n  \"counters\": {";
+  let cs = counters () in
+  List.iteri
+    (fun i (name, v) ->
+      add "%s\n    \"%s\": %d" (if i = 0 then "" else ",") (json_escape name) v)
+    cs;
+  add "%s},\n  \"histograms\": {" (if cs = [] then "" else "\n  ");
+  let hs = histograms () in
+  List.iteri
+    (fun i (name, (s : Stats.summary)) ->
+      add
+        "%s\n    \"%s\": {\"count\": %d, \"mean\": %s, \"stddev\": %s, \"min\": %s, \"max\": \
+         %s, \"total\": %s}"
+        (if i = 0 then "" else ",")
+        (json_escape name) s.Stats.count (json_float s.Stats.mean) (json_float s.Stats.stddev)
+        (json_float s.Stats.min) (json_float s.Stats.max) (json_float s.Stats.total))
+    hs;
+  add "%s},\n  \"dropped_events\": %d\n}\n" (if hs = [] then "" else "\n  ") (dropped_events ());
+  Buffer.contents b
+
+let write_chrome_trace path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc (chrome_trace_json ()))
+
+let print_summary oc =
+  let cs = List.filter (fun (_, v) -> v <> 0) (counters ()) in
+  if cs <> [] then
+    output_string oc
+      (Table.render ~title:"observability: counters" ~header:[ "counter"; "value" ]
+         (List.map (fun (n, v) -> [ n; string_of_int v ]) cs));
+  let hs = List.filter (fun (_, (s : Stats.summary)) -> s.Stats.count > 0) (histograms ()) in
+  if hs <> [] then
+    output_string oc
+      (Table.render ~title:"observability: histograms"
+         ~header:[ "histogram"; "count"; "mean"; "min"; "max"; "total" ]
+         (List.map
+            (fun (n, (s : Stats.summary)) ->
+              [
+                n;
+                string_of_int s.Stats.count;
+                Printf.sprintf "%.4g" s.Stats.mean;
+                Printf.sprintf "%.4g" s.Stats.min;
+                Printf.sprintf "%.4g" s.Stats.max;
+                Printf.sprintf "%.4g" s.Stats.total;
+              ])
+            hs));
+  let spans = List.length (trace_events ()) in
+  if spans > 0 || dropped_events () > 0 then
+    Printf.fprintf oc "observability: %d span(s) recorded%s\n" spans
+      (match dropped_events () with 0 -> "" | d -> Printf.sprintf ", %d dropped" d);
+  if cs = [] && hs = [] && spans = 0 then
+    output_string oc "observability: no metrics recorded\n"

@@ -1,0 +1,118 @@
+(** Domain-safe metrics and tracing substrate ([tin_obs]).
+
+    Named counters and histograms backed by per-domain sharded
+    accumulators (one cell per metric per domain, created through
+    domain-local storage and merged on read — no locks on the hot
+    path), plus lightweight spans exported as Chrome-trace JSON
+    (loadable in [chrome://tracing] / Perfetto) or plain JSON.
+
+    Every recording operation is guarded by {!enabled}, a single
+    atomic flag read: with observability off (the default) an
+    instrumented hot path pays one branch-predictable load per probe
+    and allocates nothing.  The instrumentation throughout the
+    repository (LP solver iterations and pivots, pipeline stage
+    reductions, pattern-search tickets and deadline hits, greedy
+    buffer touches, batch chunk timelines) is therefore always
+    compiled in and enabled at runtime with [tinflow --metrics] /
+    [--trace FILE].
+
+    Thread-safety: recording is safe from any domain.  {!reset} and
+    the read/merge operations ({!counters}, {!trace_events}, the
+    exporters) must not race with in-flight instrumented work — call
+    them from the coordinating domain between parallel sections (they
+    tolerate a race by design, but values read mid-flight may miss the
+    racing increments). *)
+
+val enabled : bool Atomic.t
+(** The global observability switch (default [false]).  Exposed so
+    hot paths can inline the guard; prefer {!enable} / {!disable}. *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+
+val tracking : unit -> bool
+(** [Atomic.get enabled] — the guard every recording call evaluates
+    first. *)
+
+val reset : unit -> unit
+(** Zeroes every counter and histogram and drops all recorded span
+    events.  Metric identities (registered names) survive. *)
+
+(** Monotonically increasing named event counts. *)
+module Counter : sig
+  type t
+
+  val make : string -> t
+  (** [make name] registers (or finds) the counter named [name].
+      Counters are process-global: two [make] calls with the same name
+      return the same counter. *)
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+  (** No-ops while {!enabled} is false. *)
+
+  val value : t -> int
+  (** Sum over all per-domain cells. *)
+
+  val name : t -> string
+end
+
+(** Named streaming summaries (count/mean/stddev/min/max/total),
+    backed by one {!Tin_util.Stats.Acc} per domain, merged on read. *)
+module Histogram : sig
+  type t
+
+  val make : string -> t
+  val observe : t -> float -> unit
+  (** No-op while {!enabled} is false. *)
+
+  val summary : t -> Tin_util.Stats.summary
+  val name : t -> string
+end
+
+type event = {
+  name : string;
+  ts_ns : int64;  (** Start, monotonic ns ({!Tin_util.Timer.now_ns}). *)
+  dur_ns : int64;
+  tid : int;  (** The recording domain's id — one trace row each. *)
+  args : (string * string) list;
+}
+
+(** Wall-clock spans around instrumented regions. *)
+module Span : sig
+  val with_ : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+  (** [with_ name f] runs [f ()]; when {!enabled} is set, the elapsed
+      interval is recorded as a complete event on the calling domain's
+      timeline (also when [f] raises).  When disabled, this is exactly
+      a guarded call to [f]. *)
+end
+
+val counters : unit -> (string * int) list
+(** Every registered counter with its merged value, sorted by name. *)
+
+val histograms : unit -> (string * Tin_util.Stats.summary) list
+(** Every registered histogram with its merged summary, sorted by
+    name. *)
+
+val trace_events : unit -> event list
+(** All recorded spans, across domains, sorted by start time. *)
+
+val dropped_events : unit -> int
+(** Spans discarded because a domain's buffer hit its cap. *)
+
+val chrome_trace_json : unit -> string
+(** The recorded spans as a Chrome-trace JSON array of complete
+    ("ph":"X") events with microsecond timestamps rebased to the
+    earliest span, one ["thread_name"] metadata record per domain, and
+    every nonzero counter appended as a process-level instant event —
+    the format [chrome://tracing] and Perfetto load directly. *)
+
+val metrics_json : unit -> string
+(** Counters and histogram summaries as one plain JSON object. *)
+
+val write_chrome_trace : string -> unit
+(** [write_chrome_trace path] writes {!chrome_trace_json} to [path]. *)
+
+val print_summary : out_channel -> unit
+(** Renders the nonzero counters and nonempty histograms as aligned
+    tables (the [tinflow --metrics] report). *)

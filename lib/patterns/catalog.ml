@@ -2,6 +2,11 @@ module Endpoints = Tin_core.Endpoints
 module Pipeline = Tin_core.Pipeline
 module Simplify = Tin_core.Simplify
 module Batch = Tin_core.Batch
+module Obs = Tin_obs.Obs
+
+let c_tickets = Obs.Counter.make "catalog.tickets"
+let c_deadline_hits = Obs.Counter.make "catalog.deadline_hits"
+let c_anchors = Obs.Counter.make "catalog.anchors"
 
 type rigid = P1 | P2 | P3 | P4 | P5 | P6
 type relaxed = RP1 | RP2 | RP3
@@ -99,7 +104,9 @@ let expired sh =
 
 let time_out sh =
   Atomic.set sh.truncated true;
-  Atomic.set sh.timed_out true;
+  (* Exchange rather than set: the deadline-hit counter records one hit
+     per search even when several domains notice expiry together. *)
+  if not (Atomic.exchange sh.timed_out true) then Obs.Counter.incr c_deadline_hits;
   Atomic.set sh.stop true
 
 let truncate sh =
@@ -126,6 +133,7 @@ let stopper sh =
 
 let add sh local f =
   let ticket = Atomic.fetch_and_add sh.tickets 1 in
+  Obs.Counter.incr c_tickets;
   if ticket >= sh.limit then begin
     (* Another domain's instance already consumed the last slot. *)
     truncate sh;
@@ -149,14 +157,31 @@ let anchor_chunk = 16
 
 (* Run [body local anchor] over every anchor and merge.  [Done] aborts
    one anchor's walk; the shared [stop] flag then keeps the remaining
-   anchors from doing any real work. *)
-let search ?jobs sh ~n body =
-  let merged =
+   anchors from doing any real work.  [name] labels the observability
+   spans (one per search plus, when tracing, one per anchor). *)
+let search ?jobs sh ~name ~n body =
+  let run_anchor local a =
+    Obs.Counter.incr c_anchors;
+    let go () = try body local a with Done -> () in
+    if Obs.tracking () then
+      Obs.Span.with_ "catalog.anchor"
+        ~args:[ ("pattern", name); ("anchor", string_of_int a) ]
+        go
+    else go ()
+  in
+  let run () =
     Batch.map_reduce ?jobs ~chunk:anchor_chunk ~stop:sh.stop ~n
       ~init:(fun () -> { count = 0; flow = 0.0 })
-      ~body:(fun local a -> try body local a with Done -> ())
+      ~body:run_anchor
       ~merge:(fun a b -> { count = a.count + b.count; flow = a.flow +. b.flow })
       ()
+  in
+  let merged =
+    if Obs.tracking () then
+      Obs.Span.with_ "catalog.search"
+        ~args:[ ("pattern", name); ("anchors", string_of_int n) ]
+        run
+    else run ()
   in
   {
     instances = merged.count;
@@ -227,16 +252,16 @@ let p5_hybrid_flow net tb pat mu =
   | Some r2, Some r3 -> r2.Tables.flow +. r3.Tables.flow
   | _ -> Pattern.instance_flow net pat mu
 
-let gb_browse ?jobs ?(limit = max_int) ?time_budget_ms net pat flow_of =
+let gb_with ?jobs ?(limit = max_int) ?time_budget_ms net pat flow_of =
   let sh = make_shared ?time_budget_ms limit in
   let body local a =
     Pattern.browse ~should_stop:(check_stop sh) ~anchor:a net pat
       (fun mu -> add sh local (flow_of mu))
   in
-  search ?jobs sh ~n:(Static.n_vertices net) body
+  search ?jobs sh ~name:pat.Pattern.name ~n:(Static.n_vertices net) body
 
 let gb_custom ?jobs ?limit ?time_budget_ms ?tables net pat =
-  gb_browse ?jobs ?limit ?time_budget_ms net pat (instance_flow_fn ?tables net pat)
+  gb_with ?jobs ?limit ?time_budget_ms net pat (instance_flow_fn ?tables net pat)
 
 let gb_rigid ?jobs ?limit ?time_budget_ms ?tables net r =
   let pat = rigid_pattern r in
@@ -245,7 +270,7 @@ let gb_rigid ?jobs ?limit ?time_budget_ms ?tables net r =
     | P5, Some tb -> p5_hybrid_flow net tb pat
     | _ -> instance_flow_fn ?tables net pat
   in
-  gb_browse ?jobs ?limit ?time_budget_ms net pat flow_of
+  gb_with ?jobs ?limit ?time_budget_ms net pat flow_of
 
 (* Relaxed patterns aggregate the flows of all short paths per anchor
    (Section 5.3): one instance per anchor (RP2/RP3) or per endpoint
@@ -308,7 +333,7 @@ let gb_relaxed ?jobs ?(limit = max_int) ?time_budget_ms net r =
           |> List.sort compare
           |> List.iter (fun (_, f) -> add sh local f)
   in
-  search ?jobs sh ~n:(Static.n_vertices net) body
+  search ?jobs sh ~name:(pattern_name (Relaxed r)) ~n:(Static.n_vertices net) body
 
 let gb ?jobs ?limit ?time_budget_ms ?tables net = function
   | Rigid r -> gb_rigid ?jobs ?limit ?time_budget_ms ?tables net r
@@ -431,4 +456,4 @@ let pb ?jobs ?(limit = max_int) ?time_budget_ms net tables pattern =
           let flow = ref 0.0 in
           if sum_start tables.l3 a flow then add sh local !flow
   in
-  search ?jobs sh ~n:(Static.n_vertices net) body
+  search ?jobs sh ~name:(pattern_name pattern) ~n:(Static.n_vertices net) body

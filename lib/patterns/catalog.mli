@@ -108,3 +108,25 @@ val gb_custom :
     parsed by {!Pattern.of_string}), with per-instance maximum-flow
     computation — the generic engine behind the rigid catalog.
     [jobs] and [tables] as in {!gb}. *)
+
+val gb_with :
+  ?jobs:int ->
+  ?limit:int ->
+  ?time_budget_ms:float ->
+  Static.t ->
+  Pattern.t ->
+  (Pattern.mapping -> float) ->
+  result
+(** Like {!gb_custom} but with a caller-supplied per-instance flow
+    function (the mapping array is reused — copy it to retain).  This
+    is the raw engine: it exists so tests and experiments can observe
+    the search machinery (ticket accounting, deadline behaviour) under
+    a controlled instance cost.
+
+    Deadline contract: the time budget is re-checked {e unmasked}
+    immediately before each complete binding invokes the flow function
+    (see {!Pattern.browse}), so once the budget expires, at most the
+    one in-flight instance evaluation completes — overshoot is bounded
+    by a single candidate step, not by a shard.  Expiries are counted
+    in the [catalog.deadline_hits] observability counter (once per
+    search). *)

@@ -126,7 +126,15 @@ let browse ?should_stop ?anchor net t f =
   in
   let no_skip = (-1, `Edge_to_k) in
   let rec go k =
-    if k = t.n then f mu
+    if k = t.n then begin
+      (* Unmasked stop check before every complete binding: the
+         callback is the expensive step (typically a per-instance flow
+         computation), so an expired budget must stop here, between
+         bindings — not 4096 masked probes later.  This bounds deadline
+         overshoot by a single candidate step. *)
+      (match should_stop with Some stop when stop () -> raise Stop | _ -> ());
+      f mu
+    end
     else begin
       let step = steps.(k) in
       if not step.fresh then begin

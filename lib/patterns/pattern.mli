@@ -57,7 +57,11 @@ val browse :
     [should_stop] is polled periodically {e between candidates} (not
     only between instances), so a time budget also interrupts long dry
     spells on hub vertices — the situation behind the paper's
-    "15 days (est.)" entry for P5 on Bitcoin.  [anchor] restricts the
+    "15 days (est.)" entry for P5 on Bitcoin.  It is additionally
+    checked {e unmasked immediately before every complete binding's
+    callback}, so when the callback is the expensive step (a flow
+    computation) an expired budget overshoots by at most one candidate
+    step.  [anchor] restricts the
     walk to instances whose pattern vertex 0 maps to the given graph
     vertex — the sharding unit of the parallel catalog search:
     browsing every anchor in ascending order reproduces the unanchored

@@ -41,6 +41,34 @@ module Acc = struct
   let min t = if t.n = 0 then 0.0 else t.min
   let max t = if t.n = 0 then 0.0 else t.max
 
+  (* Chan et al.'s pairwise combination of Welford states: merging
+     per-domain accumulators on read must match a single sequential
+     stream up to float reassociation. *)
+  let merge_into ~into src =
+    if src.n > 0 then begin
+      if into.n = 0 then begin
+        into.n <- src.n;
+        into.mean <- src.mean;
+        into.m2 <- src.m2;
+        into.total <- src.total;
+        into.min <- src.min;
+        into.max <- src.max
+      end
+      else begin
+        let n = into.n + src.n in
+        let delta = src.mean -. into.mean in
+        let nf = float_of_int n in
+        into.m2 <-
+          into.m2 +. src.m2
+          +. (delta *. delta *. float_of_int into.n *. float_of_int src.n /. nf);
+        into.mean <- into.mean +. (delta *. float_of_int src.n /. nf);
+        into.n <- n;
+        into.total <- into.total +. src.total;
+        if src.min < into.min then into.min <- src.min;
+        if src.max > into.max then into.max <- src.max
+      end
+    end
+
   let summary t =
     {
       count = t.n;
@@ -60,9 +88,15 @@ let summarize xs =
 let mean xs =
   match xs with [] -> 0.0 | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
 
+(* Empty samples yield [nan], never an exception: aggregation over an
+   idle window (no samples in the reporting period) is a normal state
+   for the metrics reporter, and [summarize] is already documented
+   NaN-free-but-total on empty input.  Out-of-range [p] remains a
+   programming error. *)
 let percentile p xs =
-  if xs = [] then invalid_arg "Stats.percentile: empty sample";
   if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  if xs = [] then nan
+  else
   let a = Array.of_list xs in
   Array.sort compare a;
   let n = Array.length a in

@@ -19,11 +19,13 @@ val mean : float list -> float
 
 val percentile : float -> float list -> float
 (** [percentile p xs] is the [p]-th percentile ([0. <= p <= 100.]) using
-    linear interpolation between closest ranks.  @raise Invalid_argument
-    on an empty list or out-of-range [p]. *)
+    linear interpolation between closest ranks.  The empty list yields
+    [nan] (an idle aggregation window must not crash the reporter);
+    like {!summarize} and {!mean}, this never raises on empty input.
+    @raise Invalid_argument on out-of-range [p]. *)
 
 val median : float list -> float
-(** Shorthand for [percentile 50.]. *)
+(** Shorthand for [percentile 50.]; [nan] on the empty list. *)
 
 (** Incremental accumulator (Welford's algorithm) for streaming
     measurements without retaining the sample. *)
@@ -39,4 +41,10 @@ module Acc : sig
   val min : t -> float
   val max : t -> float
   val summary : t -> summary
+
+  val merge_into : into:t -> t -> unit
+  (** [merge_into ~into src] folds [src]'s state into [into] (Chan's
+      pairwise Welford combination), as if [into] had also seen every
+      observation of [src].  [src] is unchanged.  Used to merge
+      per-domain metric shards on read. *)
 end

@@ -1,10 +1,10 @@
 (** Wall-clock measurement helpers for the benchmark harness. *)
 
 val now_ns : unit -> int64
-(** Monotonic-ish wall clock in nanoseconds (based on
-    [Unix]-free [Sys.time] is too coarse; we use [Stdlib] gettimeofday via
-    [Unix] when available — here implemented with [Sys.time] fallback and
-    [Stdlib] clock).  Precision is sufficient for the millisecond-scale
+(** Monotonic wall clock in nanoseconds, read through the
+    [caml_tin_clock_ns] C stub ([clock_gettime(CLOCK_MONOTONIC)];
+    [mach_absolute_time] on macOS) — no [Unix] dependency and no
+    [Sys.time] fallback.  Precision is far below the millisecond-scale
     measurements reported by the paper. *)
 
 val time_f : (unit -> 'a) -> 'a * float

@@ -1,5 +1,6 @@
 module Fcmp = Tin_util.Fcmp
 module Prng = Tin_util.Prng
+module Obs = Tin_obs.Obs
 module TE = Tin_maxflow.Time_expand
 module Greedy = Tin_core.Greedy
 module Lp_flow = Tin_core.Lp_flow
@@ -21,7 +22,21 @@ let perturbed ?(delta = 0.5) () =
 
 type discrepancy = { check : string; detail : string }
 
-type outcome = { values : (string * float) list; discrepancies : discrepancy list }
+type outcome = {
+  values : (string * float) list;
+  discrepancies : discrepancy list;
+  obs : (string * (string * int) list) list;
+}
+
+(* Per-oracle observability counter deltas: the global counters are
+   snapshotted around each oracle run; only counters the oracle
+   actually moved are attached.  Empty unless Obs tracking is on. *)
+let counter_deltas before after =
+  List.filter_map
+    (fun (name, v) ->
+      let b = match List.assoc_opt name before with Some b -> b | None -> 0 in
+      if v > b then Some (name, v - b) else None)
+    after
 
 let pp_discrepancy ppf d = Format.fprintf ppf "[%s] %s" d.check d.detail
 
@@ -136,10 +151,22 @@ let check ?(policy = Fcmp.default_policy) ?(extra = []) g ~source ~sink =
   let add check detail = discrepancies := { check; detail } :: !discrepancies in
   let values = ref [] in
   let record name v = values := (name, v) :: !values in
+  let obs = ref [] in
   let guarded name f =
+    let before = if Obs.tracking () then Obs.counters () else [] in
+    let attach () =
+      if Obs.tracking () then begin
+        match counter_deltas before (Obs.counters ()) with
+        | [] -> ()
+        | d -> obs := (name, d) :: !obs
+      end
+    in
     match f () with
-    | v -> Some v
+    | v ->
+        attach ();
+        Some v
     | exception e ->
+        attach ();
         add "oracle-crash" (name ^ " raised " ^ Printexc.to_string e);
         None
   in
@@ -298,7 +325,7 @@ let check ?(policy = Fcmp.default_policy) ?(extra = []) g ~source ~sink =
             | _ -> ()
           end)
   | _ -> ());
-  { values = List.rev !values; discrepancies = List.rev !discrepancies }
+  { values = List.rev !values; discrepancies = List.rev !discrepancies; obs = List.rev !obs }
 
 let fails ?policy ?extra g ~source ~sink =
   (check ?policy ?extra g ~source ~sink).discrepancies <> []
@@ -362,6 +389,12 @@ let dump_csv path g ~source ~sink outcome =
       List.iter
         (fun d -> Printf.fprintf oc "# %s: %s\n" d.check d.detail)
         outcome.discrepancies;
+      List.iter
+        (fun (oracle, deltas) ->
+          Printf.fprintf oc "# obs %s:%s\n" oracle
+            (String.concat ""
+               (List.map (fun (c, v) -> Printf.sprintf " %s=%d" c v) deltas)))
+        outcome.obs;
       Graph.iter_edges
         (fun s d is ->
           List.iter

@@ -46,6 +46,12 @@ type outcome = {
       (** Flow value per oracle that completed, in run order (the
           greedy value is listed last). *)
   discrepancies : discrepancy list;  (** Empty iff all invariants held. *)
+  obs : (string * (string * int) list) list;
+      (** Per-oracle observability counter deltas (e.g. how many LP
+          pivots a solver oracle spent on this instance), snapshotted
+          around each oracle run.  Populated only while
+          {!Tin_obs.Obs} tracking is enabled; counterexample CSV dumps
+          include these as [# obs] comment lines. *)
 }
 
 val pp_discrepancy : Format.formatter -> discrepancy -> unit

@@ -103,6 +103,35 @@ let test_patterns_time_budget () =
   in
   Alcotest.(check bool) "table rendered" true (contains out "Pattern instances")
 
+let test_metrics_and_trace () =
+  (* --metrics prints the counter table to stderr; --trace writes a
+     Chrome-trace JSON array with at least one complete span. *)
+  let trace = Filename.temp_file "tinflow_trace" ".json" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists trace then Sys.remove trace)
+    (fun () ->
+      let out =
+        check_ok "flow --metrics --trace"
+          (run_capture (Printf.sprintf "flow %s -s 0 -t 1 --metrics --trace %s" csv trace))
+      in
+      Alcotest.(check bool) "counter table" true (contains out "observability: counters");
+      Alcotest.(check bool) "a counter is reported" true (contains out "pipeline.stage.");
+      Alcotest.(check bool) "trace announced" true (contains out "trace written to");
+      let json = In_channel.with_open_text trace In_channel.input_all in
+      Alcotest.(check bool) "JSON array" true (String.length json > 0 && json.[0] = '[');
+      Alcotest.(check bool) "complete events" true (contains json "\"ph\": \"X\"");
+      Alcotest.(check bool) "thread metadata" true (contains json "thread_name");
+      (* The same flags work on a pattern search and record spans from
+         the patterns layer. *)
+      let out2 =
+        check_ok "patterns --metrics --trace"
+          (run_capture
+             (Printf.sprintf "patterns %s -p p2 --limit 200 --metrics --trace %s" csv trace))
+      in
+      Alcotest.(check bool) "ticket counter" true (contains out2 "catalog.tickets");
+      let json2 = In_channel.with_open_text trace In_channel.input_all in
+      Alcotest.(check bool) "catalog span" true (contains json2 "catalog.search"))
+
 let test_dot () =
   let out = check_ok "dot" (run_capture (Printf.sprintf "dot %s" csv)) in
   Alcotest.(check bool) "digraph" true (contains out "digraph")
@@ -180,6 +209,7 @@ let () =
               Alcotest.test_case "patterns parallel determinism" `Quick
                 test_patterns_parallel_matches_sequential;
               Alcotest.test_case "patterns time budget" `Quick test_patterns_time_budget;
+              Alcotest.test_case "metrics and trace flags" `Quick test_metrics_and_trace;
               Alcotest.test_case "dot export" `Quick test_dot;
               Alcotest.test_case "bad usage" `Quick test_bad_usage;
               Alcotest.test_case "corrupt csv diagnostic" `Quick test_corrupt_csv_diagnostic;

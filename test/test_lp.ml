@@ -296,6 +296,116 @@ let test_bounded_shape_rejected () =
     (Invalid_argument "Problem.solve: `Bounded requires <= rows, non-negative rhs, no free vars")
     (fun () -> ignore (Problem.solve ~solver:`Bounded p))
 
+(* --- exact iteration budgets --------------------------------------- *)
+
+module Sparse = Tin_lp.Sparse
+module Solver_metrics = Tin_lp.Solver_metrics
+
+(* The budget contract is identical for all three solvers: a run that
+   needs exactly [p] work passes (pivots / bound flips / defensive
+   refactorize-retries, as counted by [Solver_metrics.iterations])
+   returns its result with [max_iters = p] and [Iteration_limit] with
+   [max_iters = p - 1] — never one extra iteration. *)
+let check_budget_exact name solve_with =
+  let base, iters = solve_with None in
+  (match base with
+  | `Opt _ -> ()
+  | `Limit -> Alcotest.failf "%s: unlimited run hit the iteration limit" name
+  | `Other -> Alcotest.failf "%s: expected an optimal base run" name);
+  (match (solve_with (Some iters), base) with
+  | (`Opt a, _), `Opt b -> Alcotest.(check (float 1e-9)) (name ^ ": budget = work suffices") b a
+  | _ -> Alcotest.failf "%s: max_iters = %d (the exact work) must solve" name iters);
+  if iters > 0 then
+    match solve_with (Some (iters - 1)) with
+    | `Limit, _ -> ()
+    | _ -> Alcotest.failf "%s: max_iters = %d must hit Iteration_limit" name (iters - 1)
+
+let test_iteration_budget_exact () =
+  let rng = Tin_util.Prng.create ~seed:9090 in
+  for _ = 1 to 100 do
+    let n = 1 + Tin_util.Prng.int rng 5 in
+    let c = Array.init n (fun _ -> float_of_int (Tin_util.Prng.int rng 10)) in
+    let upper = Array.init n (fun _ -> float_of_int (1 + Tin_util.Prng.int rng 9)) in
+    let n_rows = 1 + Tin_util.Prng.int rng 4 in
+    let rows =
+      List.init n_rows (fun _ ->
+          ( Array.init n (fun _ -> float_of_int (Tin_util.Prng.int rng 4)),
+            float_of_int (5 + Tin_util.Prng.int rng 30) ))
+    in
+    let rhs = Array.of_list (List.map snd rows) in
+    let cols =
+      Array.init n (fun j ->
+          List.concat
+            (List.mapi (fun i (a, _) -> if a.(j) <> 0.0 then [ (i, a.(j)) ] else []) rows))
+    in
+    let dense max_iters =
+      (* The dense simplex has no native bounds: encode them as rows.
+         All rows are Le, so phase 1 is empty and the per-phase budget
+         is exactly the phase-2 budget. *)
+      let m = Solver_metrics.create () in
+      let bound_rows =
+        List.init n (fun j ->
+            (Array.init n (fun k -> if k = j then 1.0 else 0.0), Simplex.Le, upper.(j)))
+      in
+      let rows = List.map (fun (a, b) -> (a, Simplex.Le, b)) rows @ bound_rows in
+      let o =
+        match max_iters with
+        | None -> Simplex.solve ~metrics:m ~c ~rows ()
+        | Some k -> Simplex.solve ~max_iters:k ~metrics:m ~c ~rows ()
+      in
+      ( (match o with
+        | Simplex.Optimal { objective; _ } -> `Opt objective
+        | Simplex.Iteration_limit -> `Limit
+        | _ -> `Other),
+        m.Solver_metrics.iterations )
+    in
+    let bounded max_iters =
+      let m = Solver_metrics.create () in
+      let o =
+        match max_iters with
+        | None -> Bounded.solve ~metrics:m ~c ~upper ~rows ()
+        | Some k -> Bounded.solve ~max_iters:k ~metrics:m ~c ~upper ~rows ()
+      in
+      ( (match o with
+        | Bounded.Optimal { objective; _ } -> `Opt objective
+        | Bounded.Iteration_limit -> `Limit
+        | _ -> `Other),
+        m.Solver_metrics.iterations )
+    in
+    let sparse max_iters =
+      let m = Solver_metrics.create () in
+      let o =
+        match max_iters with
+        | None -> Sparse.solve ~metrics:m ~c ~upper ~rhs ~cols ()
+        | Some k -> Sparse.solve ~max_iters:k ~metrics:m ~c ~upper ~rhs ~cols ()
+      in
+      ( (match o with
+        | Sparse.Optimal { objective; _ } -> `Opt objective
+        | Sparse.Iteration_limit -> `Limit
+        | _ -> `Other),
+        m.Solver_metrics.iterations )
+    in
+    check_budget_exact "dense" dense;
+    check_budget_exact "bounded" bounded;
+    check_budget_exact "sparse" sparse
+  done
+
+let test_metrics_accumulate () =
+  let m = Solver_metrics.create () in
+  let solve () =
+    ignore
+      (Bounded.solve ~metrics:m ~c:[| 3.0; 5.0 |] ~upper:[| 4.0; infinity |]
+         ~rows:[ ([| 0.0; 2.0 |], 12.0); ([| 3.0; 2.0 |], 18.0) ]
+         ())
+  in
+  solve ();
+  let once = m.Solver_metrics.iterations in
+  Alcotest.(check bool) "a real solve does work" true (once > 0);
+  Alcotest.(check int) "iterations = pivots + flips" once
+    (m.Solver_metrics.pivots + m.Solver_metrics.bound_flips);
+  solve ();
+  Alcotest.(check int) "metrics accumulate across solves" (2 * once) m.Solver_metrics.iterations
+
 let test_problem_repeated_terms () =
   (* x + x <= 4 means x <= 2. *)
   let p = Problem.create () in
@@ -340,5 +450,10 @@ let () =
           Alcotest.test_case "negative rhs rejected" `Quick test_bounded_rejects_negative_rhs;
           Alcotest.test_case "random dense = bounded" `Quick test_bounded_vs_dense_random;
           Alcotest.test_case "shape rejection" `Quick test_bounded_shape_rejected;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "max_iters exact on all solvers" `Quick test_iteration_budget_exact;
+          Alcotest.test_case "metrics accumulate" `Quick test_metrics_accumulate;
         ] );
     ]

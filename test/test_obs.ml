@@ -1,0 +1,386 @@
+(* Observability substrate: counter exactness across domains, span
+   nesting, disabled-path invisibility, and the Chrome-trace / metrics
+   JSON exporters (schema-checked with a minimal JSON reader — the
+   repo deliberately has no JSON dependency). *)
+
+module Obs = Tin_obs.Obs
+module Batch = Tin_core.Batch
+
+let with_enabled f =
+  Obs.reset ();
+  Obs.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.disable ();
+      Obs.reset ())
+    f
+
+(* --- minimal JSON reader (tests only) ------------------------------ *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Bad of string
+
+  let parse (s : string) : t =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let fail msg = raise (Bad (Printf.sprintf "%s at byte %d" msg !pos)) in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\n' | '\t' | '\r') ->
+          incr pos;
+          skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      if !pos < n && s.[!pos] = c then incr pos else fail (Printf.sprintf "expected '%c'" c)
+    in
+    let literal lit v =
+      let k = String.length lit in
+      if !pos + k <= n && String.sub s !pos k = lit then begin
+        pos := !pos + k;
+        v
+      end
+      else fail ("expected " ^ lit)
+    in
+    let string_lit () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string";
+        match s.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+            incr pos;
+            if !pos >= n then fail "bad escape";
+            (match s.[!pos] with
+            | '"' -> Buffer.add_char b '"'
+            | '\\' -> Buffer.add_char b '\\'
+            | '/' -> Buffer.add_char b '/'
+            | 'n' -> Buffer.add_char b '\n'
+            | 't' -> Buffer.add_char b '\t'
+            | 'r' -> Buffer.add_char b '\r'
+            | 'b' -> Buffer.add_char b '\b'
+            | 'f' -> Buffer.add_char b '\012'
+            | 'u' ->
+                (* Raw escape is enough for schema checks. *)
+                if !pos + 4 >= n then fail "bad unicode escape";
+                Buffer.add_string b (String.sub s (!pos - 1) 6);
+                pos := !pos + 4
+            | _ -> fail "bad escape");
+            incr pos;
+            go ()
+        | c ->
+            Buffer.add_char b c;
+            incr pos;
+            go ()
+      in
+      go ();
+      Buffer.contents b
+    in
+    let number () =
+      let start = !pos in
+      let is_num c =
+        (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+      in
+      while !pos < n && is_num s.[!pos] do
+        incr pos
+      done;
+      if !pos = start then fail "expected a number";
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> f
+      | None -> fail "malformed number"
+    in
+    let rec value () =
+      skip_ws ();
+      match peek () with
+      | Some '{' ->
+          incr pos;
+          skip_ws ();
+          if peek () = Some '}' then begin
+            incr pos;
+            Obj []
+          end
+          else
+            let rec fields acc =
+              skip_ws ();
+              let k = string_lit () in
+              skip_ws ();
+              expect ':';
+              let v = value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  incr pos;
+                  fields ((k, v) :: acc)
+              | Some '}' ->
+                  incr pos;
+                  List.rev ((k, v) :: acc)
+              | _ -> fail "expected ',' or '}'"
+            in
+            Obj (fields [])
+      | Some '[' ->
+          incr pos;
+          skip_ws ();
+          if peek () = Some ']' then begin
+            incr pos;
+            Arr []
+          end
+          else
+            let rec elems acc =
+              let v = value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  incr pos;
+                  elems (v :: acc)
+              | Some ']' ->
+                  incr pos;
+                  List.rev (v :: acc)
+              | _ -> fail "expected ',' or ']'"
+            in
+            Arr (elems [])
+      | Some '"' -> Str (string_lit ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> Num (number ())
+      | None -> fail "unexpected end of input"
+    in
+    let v = value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+
+  let mem k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+
+  let str = function Str s -> Some s | _ -> None
+
+  let num = function Num f -> Some f | _ -> None
+end
+
+(* --- counters ------------------------------------------------------ *)
+
+let test_disabled_is_invisible () =
+  Obs.reset ();
+  Alcotest.(check bool) "disabled by default here" false (Obs.tracking ());
+  let c = Obs.Counter.make "test.disabled.counter" in
+  let h = Obs.Histogram.make "test.disabled.histogram" in
+  Obs.Counter.incr c;
+  Obs.Counter.add c 41;
+  Obs.Histogram.observe h 3.0;
+  let r = Obs.Span.with_ "test.disabled.span" ~args:[ ("k", "v") ] (fun () -> 7) in
+  Alcotest.(check int) "span still runs the body" 7 r;
+  Alcotest.(check int) "counter stays at zero" 0 (Obs.Counter.value c);
+  Alcotest.(check int) "histogram records nothing" 0 (Obs.Histogram.summary h).Tin_util.Stats.count;
+  Alcotest.(check int) "no spans recorded" 0 (List.length (Obs.trace_events ()))
+
+let test_counter_basics () =
+  with_enabled (fun () ->
+      let c = Obs.Counter.make "test.basics.counter" in
+      Obs.Counter.incr c;
+      Obs.Counter.add c 10;
+      Alcotest.(check int) "value merges" 11 (Obs.Counter.value c);
+      Alcotest.(check string) "name" "test.basics.counter" (Obs.Counter.name c);
+      (* Same name, same counter — make is a registry lookup. *)
+      let c' = Obs.Counter.make "test.basics.counter" in
+      Obs.Counter.incr c';
+      Alcotest.(check int) "shared identity" 12 (Obs.Counter.value c);
+      Alcotest.(check bool) "listed" true
+        (List.mem_assoc "test.basics.counter" (Obs.counters ()));
+      Alcotest.check_raises "kind clash rejected"
+        (Invalid_argument "Obs: metric name registered with another kind: test.basics.counter")
+        (fun () -> ignore (Obs.Histogram.make "test.basics.counter"));
+      Obs.reset ();
+      Alcotest.(check int) "reset zeroes in place" 0 (Obs.Counter.value c))
+
+let test_histogram_summary () =
+  with_enabled (fun () ->
+      let h = Obs.Histogram.make "test.hist" in
+      List.iter (Obs.Histogram.observe h) [ 1.0; 2.0; 3.0; 4.0 ];
+      let s = Obs.Histogram.summary h in
+      Alcotest.(check int) "count" 4 s.Tin_util.Stats.count;
+      Alcotest.(check (float 1e-9)) "mean" 2.5 s.Tin_util.Stats.mean;
+      Alcotest.(check (float 1e-9)) "min" 1.0 s.Tin_util.Stats.min;
+      Alcotest.(check (float 1e-9)) "max" 4.0 s.Tin_util.Stats.max)
+
+(* Counters must be exact — not approximate — under parallel recording:
+   every domain writes its own shard, merged on read. *)
+let prop_parallel_counter_exact =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:25 ~name:"counters exact under Batch.map_reduce jobs>1"
+       QCheck.(pair (int_bound 400) (int_range 2 6))
+       (fun (n, jobs) ->
+         with_enabled (fun () ->
+             let items = Obs.Counter.make "test.mr.items" in
+             let weight = Obs.Counter.make "test.mr.weight" in
+             let acc =
+               Batch.map_reduce ~jobs ~chunk:3 ~n
+                 ~init:(fun () -> ref 0)
+                 ~body:(fun acc i ->
+                   Obs.Counter.incr items;
+                   Obs.Counter.add weight i;
+                   acc := !acc + i)
+                 ~merge:(fun a b -> ref (!a + !b))
+                 ()
+             in
+             let expected_weight = n * (n - 1) / 2 in
+             !acc = expected_weight
+             && Obs.Counter.value items = n
+             && Obs.Counter.value weight = expected_weight)))
+
+(* --- spans --------------------------------------------------------- *)
+
+let test_spans_nest () =
+  with_enabled (fun () ->
+      let r =
+        Obs.Span.with_ "outer" (fun () ->
+            let x = Obs.Span.with_ "inner" ~args:[ ("k", "v") ] (fun () -> 41) in
+            x + 1)
+      in
+      Alcotest.(check int) "body result" 42 r;
+      match Obs.trace_events () with
+      | [ a; b ] ->
+          (* Sorted by start time: outer opened first. *)
+          Alcotest.(check string) "outer first" "outer" a.Obs.name;
+          Alcotest.(check string) "inner second" "inner" b.Obs.name;
+          let ends (e : Obs.event) = Int64.add e.Obs.ts_ns e.Obs.dur_ns in
+          Alcotest.(check bool) "inner starts inside outer" true (b.Obs.ts_ns >= a.Obs.ts_ns);
+          Alcotest.(check bool) "inner ends inside outer" true (ends b <= ends a);
+          Alcotest.(check (list (pair string string))) "args recorded" [ ("k", "v") ] b.Obs.args
+      | evs -> Alcotest.failf "expected exactly 2 spans, got %d" (List.length evs))
+
+let test_span_records_on_exception () =
+  with_enabled (fun () ->
+      (match Obs.Span.with_ "boom" (fun () -> raise Exit) with
+      | () -> Alcotest.fail "expected Exit"
+      | exception Exit -> ());
+      match Obs.trace_events () with
+      | [ e ] -> Alcotest.(check string) "span recorded despite raise" "boom" e.Obs.name
+      | evs -> Alcotest.failf "expected exactly 1 span, got %d" (List.length evs))
+
+(* --- exporters ----------------------------------------------------- *)
+
+let record_sample_activity () =
+  let c = Obs.Counter.make "test.trace.counter" in
+  Obs.Counter.add c 3;
+  Obs.Span.with_ "phase.a" ~args:[ ("size", "10"); ("quoted", "a\"b") ] (fun () ->
+      Obs.Span.with_ "phase.a.sub" (fun () -> ignore (Sys.opaque_identity (Array.make 64 0))));
+  Obs.Span.with_ "phase.b" (fun () -> ())
+
+let test_chrome_trace_schema () =
+  with_enabled (fun () ->
+      record_sample_activity ();
+      let json = Obs.chrome_trace_json () in
+      let root = Json.parse json in
+      let events = match root with Json.Arr evs -> evs | _ -> Alcotest.fail "not an array" in
+      Alcotest.(check bool) "nonempty" true (events <> []);
+      let phases = Hashtbl.create 8 in
+      List.iter
+        (fun e ->
+          (* Every event: name/ph strings, pid/tid numbers — the
+             fields Perfetto requires to place an event. *)
+          let get k = Json.mem k e in
+          let name = Option.bind (get "name") Json.str in
+          let ph = Option.bind (get "ph") Json.str in
+          Alcotest.(check bool) "has name" true (name <> None);
+          Alcotest.(check bool)
+            "has pid/tid" true
+            (Option.bind (get "pid") Json.num <> None
+            && Option.bind (get "tid") Json.num <> None);
+          let ph = match ph with Some p -> p | None -> Alcotest.fail "missing ph" in
+          Hashtbl.replace phases ph
+            (1 + Option.value ~default:0 (Hashtbl.find_opt phases ph));
+          match ph with
+          | "X" ->
+              let ts = Option.bind (get "ts") Json.num in
+              let dur = Option.bind (get "dur") Json.num in
+              Alcotest.(check bool) "X has ts >= 0" true (match ts with Some t -> t >= 0.0 | None -> false);
+              Alcotest.(check bool) "X has dur >= 0" true (match dur with Some d -> d >= 0.0 | None -> false)
+          | "M" ->
+              Alcotest.(check (option string)) "metadata record" (Some "thread_name") name;
+              Alcotest.(check bool) "metadata names the thread" true
+                (Option.bind (get "args") (Json.mem "name") <> None)
+          | "i" ->
+              Alcotest.(check bool) "instant carries a value" true
+                (Option.bind (get "args") (Json.mem "value") <> None)
+          | other -> Alcotest.failf "unexpected phase %S" other)
+        events;
+      let count ph = Option.value ~default:0 (Hashtbl.find_opt phases ph) in
+      Alcotest.(check int) "three complete spans" 3 (count "X");
+      Alcotest.(check bool) "thread metadata present" true (count "M" >= 1);
+      Alcotest.(check bool) "counter instants present" true (count "i" >= 1);
+      (* Timestamps are rebased to the earliest span. *)
+      let min_ts =
+        List.fold_left
+          (fun acc e ->
+            match (Option.bind (Json.mem "ph" e) Json.str, Option.bind (Json.mem "ts" e) Json.num) with
+            | Some "X", Some ts -> Float.min acc ts
+            | _ -> acc)
+          infinity events
+      in
+      Alcotest.(check (float 1e-9)) "rebased to zero" 0.0 min_ts)
+
+let test_write_chrome_trace_roundtrip () =
+  with_enabled (fun () ->
+      record_sample_activity ();
+      let path = Filename.temp_file "tin_obs_trace" ".json" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          Obs.write_chrome_trace path;
+          let ic = open_in_bin path in
+          let len = in_channel_length ic in
+          let contents = really_input_string ic len in
+          close_in ic;
+          match Json.parse contents with
+          | Json.Arr (_ :: _) -> ()
+          | _ -> Alcotest.fail "written trace is not a nonempty JSON array"))
+
+let test_metrics_json_schema () =
+  with_enabled (fun () ->
+      let c = Obs.Counter.make "test.metrics.counter" in
+      Obs.Counter.add c 5;
+      let h = Obs.Histogram.make "test.metrics.hist" in
+      Obs.Histogram.observe h 2.0;
+      let root = Json.parse (Obs.metrics_json ()) in
+      let counters = Json.mem "counters" root in
+      let histograms = Json.mem "histograms" root in
+      Alcotest.(check (option (float 1e-9))) "counter exported" (Some 5.0)
+        (Option.bind (Option.bind counters (Json.mem "test.metrics.counter")) Json.num);
+      let hist = Option.bind histograms (Json.mem "test.metrics.hist") in
+      Alcotest.(check (option (float 1e-9))) "histogram count" (Some 1.0)
+        (Option.bind (Option.bind hist (Json.mem "count")) Json.num);
+      Alcotest.(check bool) "dropped_events present" true
+        (Json.mem "dropped_events" root <> None))
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "counters",
+        [
+          Alcotest.test_case "disabled path is invisible" `Quick test_disabled_is_invisible;
+          Alcotest.test_case "basics" `Quick test_counter_basics;
+          Alcotest.test_case "histogram summary" `Quick test_histogram_summary;
+          prop_parallel_counter_exact;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "nesting" `Quick test_spans_nest;
+          Alcotest.test_case "recorded on exception" `Quick test_span_records_on_exception;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "chrome trace schema" `Quick test_chrome_trace_schema;
+          Alcotest.test_case "write roundtrip" `Quick test_write_chrome_trace_roundtrip;
+          Alcotest.test_case "metrics json schema" `Quick test_metrics_json_schema;
+        ] );
+    ]

@@ -231,6 +231,58 @@ let test_time_budget () =
   Alcotest.(check int) "same instances" a.Catalog.instances b.Catalog.instances;
   Alcotest.(check bool) "not flagged" false b.Catalog.timed_out
 
+let test_deadline_overshoot_bounded () =
+  (* Regression: the time budget used to be sampled only at
+     ticket-grant, so a shard holding tickets could keep solving
+     candidates long past the deadline.  The budget is now re-checked
+     unmasked before every complete binding invokes the flow function,
+     bounding the overshoot to a single candidate step.  An
+     artificially slow [flow_of] makes any larger overshoot visible:
+     we count the evaluations that {e start} after the deadline. *)
+  let module Obs = Tin_obs.Obs in
+  let module Timer = Tin_util.Timer in
+  let rng = Tin_util.Prng.create ~seed:11 in
+  let net = Gen.random_static ~n:40 ~edges:400 rng in
+  let p2 = Catalog.rigid_pattern Catalog.P2 in
+  (* Premise guard: plenty of candidates beyond what fits the budget. *)
+  let total = (Catalog.gb_with net p2 (fun _ -> 1.0)).Catalog.instances in
+  Alcotest.(check bool) "enough candidates to overshoot" true (total > 20);
+  let budget_ms = 10.0 and step_ms = 2.0 in
+  let busy_wait_ms ms =
+    let target = Int64.add (Timer.now_ns ()) (Int64.of_float (ms *. 1e6)) in
+    while Timer.now_ns () < target do
+      ignore (Sys.opaque_identity 0)
+    done
+  in
+  Obs.reset ();
+  Obs.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.disable ();
+      Obs.reset ())
+    (fun () ->
+      let started_late = ref 0 in
+      let deadline =
+        Int64.add (Timer.now_ns ()) (Int64.of_float (budget_ms *. 1e6))
+      in
+      let slow_flow _mu =
+        if Timer.now_ns () > deadline then incr started_late;
+        busy_wait_ms step_ms;
+        1.0
+      in
+      let r = Catalog.gb_with ~jobs:1 ~time_budget_ms:budget_ms net p2 slow_flow in
+      Alcotest.(check bool) "budget expired" true r.Catalog.timed_out;
+      Alcotest.(check bool) "truncated" true r.Catalog.truncated;
+      Alcotest.(check bool) "left candidates unevaluated" true (r.Catalog.instances < total);
+      (* Overshoot is bounded by one in-flight candidate step (plus one
+         for clock skew between our deadline estimate and the
+         search's), not by a whole shard of candidates. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "at most one candidate starts late (saw %d)" !started_late)
+        true (!started_late <= 2);
+      Alcotest.(check (option int)) "deadline hit counted once" (Some 1)
+        (List.assoc_opt "catalog.deadline_hits" (Obs.counters ())))
+
 let test_pattern_dsl () =
   (* The DSL expresses the whole rigid catalog. *)
   let check_equiv text rigid =
@@ -397,6 +449,7 @@ let () =
           Alcotest.test_case "limit truncates" `Quick test_limit_truncates;
           Alcotest.test_case "avg flow" `Quick test_avg_flow;
           Alcotest.test_case "time budget" `Quick test_time_budget;
+          Alcotest.test_case "deadline overshoot bounded" `Quick test_deadline_overshoot_bounded;
           Alcotest.test_case "pattern DSL" `Quick test_pattern_dsl;
           Alcotest.test_case "DSL roundtrip" `Quick test_pattern_dsl_roundtrip;
           Alcotest.test_case "DSL errors" `Quick test_pattern_dsl_errors;

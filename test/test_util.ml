@@ -110,8 +110,48 @@ let test_stats_percentile () =
   Alcotest.(check (float 1e-9)) "median" 25.0 (Stats.median xs);
   Alcotest.(check (float 1e-9)) "p0" 10.0 (Stats.percentile 0.0 xs);
   Alcotest.(check (float 1e-9)) "p100" 40.0 (Stats.percentile 100.0 xs);
-  Alcotest.check_raises "empty" (Invalid_argument "Stats.percentile: empty sample") (fun () ->
-      ignore (Stats.percentile 50.0 []))
+  (* The empty sample never raises: an idle aggregation window must
+     not crash the reporter. *)
+  Alcotest.(check bool) "empty percentile is nan" true (Float.is_nan (Stats.percentile 50.0 []));
+  Alcotest.(check bool) "empty median is nan" true (Float.is_nan (Stats.median []));
+  Alcotest.check_raises "out-of-range p still raises"
+    (Invalid_argument "Stats.percentile: p out of range") (fun () ->
+      ignore (Stats.percentile 101.0 [ 1.0 ]))
+
+let test_stats_acc_merge () =
+  let a = Stats.Acc.create () and b = Stats.Acc.create () in
+  let xs = List.init 37 (fun i -> float_of_int i /. 3.0) in
+  let ys = List.init 53 (fun i -> float_of_int (i * i) /. 11.0) in
+  List.iter (Stats.Acc.add a) xs;
+  List.iter (Stats.Acc.add b) ys;
+  Stats.Acc.merge_into ~into:a b;
+  let merged = Stats.Acc.summary a and whole = Stats.summarize (xs @ ys) in
+  Alcotest.(check int) "count" whole.Stats.count merged.Stats.count;
+  Alcotest.(check (float 1e-9)) "mean" whole.Stats.mean merged.Stats.mean;
+  Alcotest.(check (float 1e-6)) "stddev" whole.Stats.stddev merged.Stats.stddev;
+  Alcotest.(check (float 1e-9)) "min" whole.Stats.min merged.Stats.min;
+  Alcotest.(check (float 1e-9)) "max" whole.Stats.max merged.Stats.max;
+  (* Merging an empty accumulator is the identity, in both directions. *)
+  let before = Stats.Acc.summary a in
+  Stats.Acc.merge_into ~into:a (Stats.Acc.create ());
+  Alcotest.(check int) "merge empty keeps count" before.Stats.count (Stats.Acc.count a);
+  let fresh = Stats.Acc.create () in
+  Stats.Acc.merge_into ~into:fresh a;
+  Alcotest.(check (float 1e-9)) "merge into empty" before.Stats.mean (Stats.Acc.mean fresh)
+
+let prop_percentile_total =
+  QCheck.Test.make ~count:300 ~name:"percentile never raises, nan iff empty"
+    QCheck.(pair (float_bound_inclusive 100.0) (small_list (float_range (-1e6) 1e6)))
+    (fun (p, xs) ->
+      let v = Stats.percentile p xs in
+      if xs = [] then Float.is_nan v
+      else
+        (* Within the sample's range, and monotone in p. *)
+        let lo = List.fold_left Float.min Float.infinity xs in
+        let hi = List.fold_left Float.max Float.neg_infinity xs in
+        v >= lo && v <= hi
+        && Stats.percentile 0.0 xs <= v
+        && v <= Stats.percentile 100.0 xs)
 
 let test_stats_acc_matches_summarize () =
   let xs = List.init 100 (fun i -> float_of_int (i * i) /. 7.0) in
@@ -188,6 +228,8 @@ let () =
           Alcotest.test_case "empty" `Quick test_stats_empty;
           Alcotest.test_case "percentile" `Quick test_stats_percentile;
           Alcotest.test_case "acc matches" `Quick test_stats_acc_matches_summarize;
+          Alcotest.test_case "acc merge" `Quick test_stats_acc_merge;
+          QCheck_alcotest.to_alcotest prop_percentile_total;
         ] );
       ( "table",
         [

@@ -4,9 +4,10 @@
      flow      compute greedy/maximum flow on a CSV network
      batch     evaluate all extracted subgraph flows across CPU cores
      patterns  enumerate flow patterns on a CSV network
-     verify    differential correctness check / fuzzer
-     generate  write a synthetic dataset to CSV
-     dot       render a CSV network to GraphViz *)
+     verify      differential correctness check / fuzzer
+     generate    write a synthetic dataset to CSV
+     bench-check diff benchmark JSON against the committed baseline
+     dot         render a CSV network to GraphViz *)
 
 open Cmdliner
 module Pipeline = Tin_core.Pipeline
@@ -35,7 +36,54 @@ let or_parse_error f =
 let load_csv file = or_parse_error (fun () -> Io.load_csv file)
 let load_csv_graph file = or_parse_error (fun () -> Io.load_csv_graph file)
 
-(* --- observability (--metrics / --trace, shared by every subcommand) --- *)
+(* --- structured event log (--log-json) --- *)
+
+(* One JSON object per line on stderr: run lifecycle, per-stage
+   progress, library log records, and a counter snapshot on exit.
+   Field values are raw JSON fragments; [Event.str]/[Event.num] build
+   them, so arbitrary text goes through {!Tin_util.Json.escape}. *)
+module Event = struct
+  let enabled = ref false
+  let str s = "\"" ^ Tin_util.Json.escape s ^ "\""
+
+  let num x =
+    if Float.is_finite x then Printf.sprintf "%.17g" x else str (Float.to_string x)
+
+  let emit ?(fields = []) name =
+    if !enabled then begin
+      let b = Buffer.create 128 in
+      Printf.bprintf b "{\"event\":%s,\"ts\":%.6f" (str name) (Unix.gettimeofday ());
+      List.iter (fun (k, v) -> Printf.bprintf b ",%s:%s" (str k) v) fields;
+      Buffer.add_string b "}\n";
+      prerr_string (Buffer.contents b);
+      flush stderr
+    end
+end
+
+(* A {!Logs} reporter that forwards every log record as an event line,
+   so [--log-json] output stays machine-readable end to end. *)
+let json_reporter () =
+  let report src level ~over k msgf =
+    msgf @@ fun ?header:_ ?tags:_ fmt ->
+    Format.kasprintf
+      (fun message ->
+        Event.emit "log"
+          ~fields:
+            [
+              ("level", Event.str (Logs.level_to_string (Some level)));
+              ("src", Event.str (Logs.Src.name src));
+              ("message", Event.str message);
+            ];
+        over ();
+        k ())
+      fmt
+  in
+  { Logs.report }
+
+(* --- observability (--metrics / --trace / --log-json, shared by every
+       subcommand; --listen on the long-running ones) --- *)
+
+type obs_opts = { metrics : bool; trace : string option; listen : int option; log_json : bool }
 
 let obs_term =
   let metrics =
@@ -52,33 +100,102 @@ let obs_term =
       & opt (some string) None
       & info [ "trace" ] ~docv:"FILE"
           ~doc:
-            "Record spans across all domains and write a Chrome-trace JSON array to $(docv) on \
+            "Record spans across all domains and write a Chrome-trace JSON file to $(docv) on \
              exit (loadable in chrome://tracing or Perfetto).")
   in
-  Term.(const (fun m t -> (m, t)) $ metrics $ trace)
+  let log_json =
+    Arg.(
+      value & flag
+      & info [ "log-json" ]
+          ~doc:
+            "Emit structured JSON event lines on stderr (run lifecycle, stage progress, log \
+             records, counter snapshot) instead of human-formatted logs.")
+  in
+  Term.(
+    const (fun metrics trace log_json -> { metrics; trace; listen = None; log_json })
+    $ metrics $ trace $ log_json)
 
-let with_obs (metrics, trace) run =
+(* The long-running subcommands additionally take [--listen]. *)
+let obs_serve_term =
+  let listen =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "listen" ] ~docv:"PORT"
+          ~doc:
+            "Serve Prometheus text exposition on http://0.0.0.0:$(docv)/metrics while the \
+             command runs (plus /metrics.json and /healthz).  Implies the counters and starts \
+             the runtime/GC sampler.  PORT 0 picks a free port, announced on stderr.")
+  in
+  Term.(const (fun o listen -> { o with listen }) $ obs_term $ listen)
+
+let counters_json () =
+  let b = Buffer.create 128 in
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (n, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Printf.bprintf b "%s:%d" (Event.str n) v)
+    (Tin_obs.Obs.counters ());
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let with_obs o run =
   let module Obs = Tin_obs.Obs in
-  if metrics || trace <> None then begin
-    Obs.enable ();
-    let finish () =
+  if o.log_json then begin
+    Event.enabled := true;
+    Logs.set_reporter (json_reporter ())
+  end;
+  let server =
+    match o.listen with
+    | None -> None
+    | Some port ->
+        Obs.enable ();
+        Obs.Runtime.start ~period_ms:500 ();
+        let s = Tin_obs.Serve.start ~port () in
+        Printf.eprintf "tinflow: serving /metrics, /metrics.json and /healthz on port %d\n%!"
+          (Tin_obs.Serve.port s);
+        Event.emit "listen.start" ~fields:[ ("port", string_of_int (Tin_obs.Serve.port s)) ];
+        Some s
+  in
+  if o.metrics || o.trace <> None then Obs.enable ();
+  let active = o.metrics || o.trace <> None || server <> None in
+  if not (active || o.log_json) then run ()
+  else begin
+    let t0 = Tin_util.Timer.now_ns () in
+    Event.emit "run.start"
+      ~fields:[ ("argv", Event.str (String.concat " " (Array.to_list Sys.argv))) ];
+    let finish outcome =
+      Option.iter Tin_obs.Serve.stop server;
+      if Obs.Runtime.running () then Obs.Runtime.stop ();
+      if active && o.log_json then
+        Event.emit "metrics.snapshot" ~fields:[ ("counters", counters_json ()) ];
       Obs.disable ();
       Option.iter
         (fun path ->
           Obs.write_chrome_trace path;
           Printf.eprintf "tinflow: trace written to %s\n%!" path)
-        trace;
-      if metrics then Obs.print_summary stderr
+        o.trace;
+      if o.metrics then Obs.print_summary stderr;
+      let elapsed =
+        Int64.to_float (Int64.sub (Tin_util.Timer.now_ns ()) t0) /. 1e9
+      in
+      Event.emit "run.end"
+        ~fields:
+          (("elapsed_secs", Event.num elapsed)
+          ::
+          (match outcome with
+          | Ok code -> [ ("exit_code", string_of_int code) ]
+          | Error exn -> [ ("error", Event.str (Printexc.to_string exn)) ]))
     in
     match run () with
     | code ->
-        finish ();
+        finish (Ok code);
         code
     | exception e ->
-        finish ();
+        finish (Error e);
         raise e
   end
-  else run ()
 
 (* --- flow --- *)
 
@@ -225,11 +342,25 @@ let batch_cmd =
     end
     else begin
       let jobs = Option.value jobs ~default:(Tin_core.Batch.recommended_jobs ()) in
+      Event.emit "batch.start"
+        ~fields:
+          [
+            ("file", Event.str file);
+            ("subgraphs", string_of_int (List.length problems));
+            ("jobs", string_of_int jobs);
+          ];
       let values, secs =
         Tin_util.Timer.time_f (fun () ->
             Tin_core.Batch.max_flows ~jobs ~solver ~method_:meth problems)
       in
       let total = List.fold_left ( +. ) 0.0 values in
+      Event.emit "batch.done"
+        ~fields:
+          [
+            ("subgraphs", string_of_int (List.length values));
+            ("total_flow", Event.num total);
+            ("elapsed_secs", Event.num secs);
+          ];
       Printf.printf "subgraphs:  %d\n" (List.length values);
       Printf.printf "total flow: %g\n" total;
       Printf.printf "elapsed:    %.3fs on %d domain(s) (%.1f subgraphs/s)\n" secs jobs
@@ -242,7 +373,7 @@ let batch_cmd =
        ~doc:"Compute the flow of every extracted cycle subgraph, in parallel across cores")
     Term.(
       const run $ file_arg $ jobs $ meth $ solver_arg $ max_interactions $ max_subgraphs
-      $ obs_term)
+      $ obs_serve_term)
 
 (* --- paths (flow decomposition) --- *)
 
@@ -355,6 +486,14 @@ let patterns_cmd =
               Catalog.pb ~jobs ~limit ?time_budget_ms:time_budget net (Option.get tables) p
             else Catalog.gb ~jobs ~limit ?time_budget_ms:time_budget ?tables net p
           in
+          Event.emit "patterns.result"
+            ~fields:
+              [
+                ("pattern", Event.str (Catalog.pattern_name p));
+                ("instances", string_of_int r.Catalog.instances);
+                ("total_flow", Event.num r.Catalog.total_flow);
+                ("truncated", string_of_bool r.Catalog.truncated);
+              ];
           [
             (Catalog.pattern_name p ^ if r.Catalog.truncated then "*" else "");
             string_of_int r.Catalog.instances;
@@ -392,7 +531,7 @@ let patterns_cmd =
     (Cmd.info "patterns" ~doc:"Enumerate flow patterns and their maximum flows")
     Term.(
       const run $ file_arg $ which $ custom $ limit $ use_pb $ hybrid $ jobs $ time_budget
-      $ obs_term)
+      $ obs_serve_term)
 
 (* --- verify --- *)
 
@@ -499,7 +638,7 @@ let verify_cmd =
        ~doc:
          "Differentially test every flow oracle (greedy, LP solvers, time-expanded algorithms, \
           accelerated pipeline) against each other on randomized or given networks")
-    Term.(const run $ network $ source $ sink $ seed $ cases $ inject $ dump $ obs_term)
+    Term.(const run $ network $ source $ sink $ seed $ cases $ inject $ dump $ obs_serve_term)
 
 (* --- generate --- *)
 
@@ -535,6 +674,136 @@ let generate_cmd =
     (Cmd.info "generate" ~doc:"Generate a synthetic interaction network CSV")
     Term.(const run $ out $ dataset $ seed $ factor $ obs_term)
 
+(* --- bench-check --- *)
+
+let bench_check_cmd =
+  let module Json = Tin_util.Json in
+  let module Regress = Tin_util.Regress in
+  let files =
+    Arg.(
+      value
+      & pos_all string [ "BENCH_flow.json"; "BENCH_pattern.json" ]
+      & info [] ~docv:"BENCH.json"
+          ~doc:
+            "Benchmark documents to check (default: BENCH_flow.json BENCH_pattern.json in the \
+             current directory).")
+  in
+  let baseline =
+    Arg.(
+      value
+      & opt string "bench/baseline"
+      & info [ "baseline" ] ~docv:"DIR"
+          ~doc:"Directory holding the committed baseline documents (matched by file name).")
+  in
+  let tolerance =
+    Arg.(
+      value
+      & opt float 15.0
+      & info [ "tolerance" ] ~docv:"PCT"
+          ~doc:"Relative noise tolerance in percent (default 15).")
+  in
+  let update =
+    Arg.(
+      value & flag
+      & info [ "update-baseline" ]
+          ~doc:"Copy the given documents into the baseline directory instead of checking.")
+  in
+  let read_file path =
+    try Ok (In_channel.with_open_bin path In_channel.input_all)
+    with Sys_error msg -> Error msg
+  in
+  let run files baseline tolerance update obs =
+    setup_logs ();
+    with_obs obs @@ fun () ->
+    if tolerance < 0.0 || Float.is_nan tolerance then begin
+      prerr_endline "tinflow: --tolerance must be non-negative";
+      exit 2
+    end;
+    if update then begin
+      if not (Sys.file_exists baseline) then Sys.mkdir baseline 0o755;
+      let code = ref 0 in
+      List.iter
+        (fun f ->
+          match read_file f with
+          | Error msg ->
+              prerr_endline ("tinflow: " ^ msg);
+              code := 2
+          | Ok contents -> (
+              (* Parse before committing: a baseline that bench-check
+                 itself cannot read is worse than none. *)
+              match Json.parse contents with
+              | Error msg ->
+                  Printf.eprintf "tinflow: %s: %s\n" f msg;
+                  code := 2
+              | Ok _ ->
+                  let dst = Filename.concat baseline (Filename.basename f) in
+                  Out_channel.with_open_bin dst (fun oc ->
+                      Out_channel.output_string oc contents);
+                  Printf.printf "baseline updated: %s -> %s\n" f dst))
+        files;
+      !code
+    end
+    else begin
+      let failures = ref 0 and missing = ref 0 in
+      List.iter
+        (fun f ->
+          let base_path = Filename.concat baseline (Filename.basename f) in
+          if not (Sys.file_exists base_path) then begin
+            Printf.printf "%s: no baseline at %s (run with --update-baseline to create it)\n" f
+              base_path;
+            incr missing
+          end
+          else
+            match (read_file base_path, read_file f) with
+            | Error msg, _ | _, Error msg ->
+                prerr_endline ("tinflow: " ^ msg);
+                exit 2
+            | Ok base_raw, Ok cur_raw -> (
+                match (Json.parse base_raw, Json.parse cur_raw) with
+                | Error msg, _ ->
+                    Printf.eprintf "tinflow: %s: %s\n" base_path msg;
+                    exit 2
+                | _, Error msg ->
+                    Printf.eprintf "tinflow: %s: %s\n" f msg;
+                    exit 2
+                | Ok base_doc, Ok cur_doc ->
+                    let rows =
+                      Regress.compare_docs ~tolerance_pct:tolerance ~baseline:base_doc
+                        ~current:cur_doc ()
+                    in
+                    print_string
+                      (Regress.render_table
+                         ~title:
+                           (Printf.sprintf "%s vs %s (tolerance %g%%)" f base_path tolerance)
+                         rows);
+                    let regressed = Regress.regressed rows in
+                    failures := !failures + List.length regressed;
+                    Event.emit "bench_check.result"
+                      ~fields:
+                        [
+                          ("file", Event.str f);
+                          ("metrics", string_of_int (List.length rows));
+                          ("regressed", string_of_int (List.length regressed));
+                        ]))
+        files;
+      if !failures > 0 then begin
+        Printf.eprintf "tinflow: bench-check: %d metric(s) regressed beyond tolerance\n"
+          !failures;
+        1
+      end
+      else begin
+        if !missing = 0 then print_endline "bench-check: ok";
+        0
+      end
+    end
+  in
+  Cmd.v
+    (Cmd.info "bench-check"
+       ~doc:
+         "Compare fresh benchmark JSON documents against the committed baseline and fail on \
+          regressions beyond a noise tolerance")
+    Term.(const run $ files $ baseline $ tolerance $ update $ obs_term)
+
 (* --- dot --- *)
 
 let dot_cmd =
@@ -567,5 +836,6 @@ let () =
             patterns_cmd;
             verify_cmd;
             generate_cmd;
+            bench_check_cmd;
             dot_cmd;
           ]))

@@ -122,8 +122,20 @@ let map_reduce ?jobs ?(chunk = 16) ?stop ~n ~init ~body ~merge () =
     match !acc with None -> init () | Some a -> a
   end
 
+(* Per-problem wall time of the whole pipeline, across all domains.
+   The clock reads are gated on [Obs.enabled] so a disabled run stays
+   syscall-free. *)
+let h_solve_ms = Obs.Histogram.make "batch_solve_ms"
+
 let max_flows ?jobs ?chunk ?solver ?(method_ = Pipeline.Pre_sim) problems =
-  map ?jobs ?chunk
-    (fun { graph; source; sink } -> Pipeline.compute ?solver method_ graph ~source ~sink)
-    (Array.of_list problems)
-  |> Array.to_list
+  let compute { graph; source; sink } = Pipeline.compute ?solver method_ graph ~source ~sink in
+  let compute =
+    if Atomic.get Obs.enabled then fun p ->
+      let t0 = Tin_util.Timer.now_ns () in
+      let flow = compute p in
+      Obs.Histogram.observe h_solve_ms
+        (Int64.to_float (Int64.sub (Tin_util.Timer.now_ns ()) t0) /. 1e6);
+      flow
+    else compute
+  in
+  map ?jobs ?chunk compute (Array.of_list problems) |> Array.to_list

@@ -9,6 +9,9 @@ let graph_args g () =
     ("interactions", string_of_int (Graph.n_interactions g));
   ]
 
+(* The increments below are size differences that cannot go negative:
+   preprocess and simplify only ever remove vertices/interactions, so
+   the [Counter.add] monotonicity guard never fires here. *)
 let c_pre_vertices = Obs.Counter.make "pipeline.preprocess.vertices_removed"
 let c_pre_interactions = Obs.Counter.make "pipeline.preprocess.interactions_removed"
 let c_sim_interactions = Obs.Counter.make "pipeline.simplify.interactions_removed"

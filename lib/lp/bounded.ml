@@ -1,8 +1,8 @@
 module Obs = Tin_obs.Obs
 
-let c_iters = Obs.Counter.make "lp.bounded.iters"
-let c_pivots = Obs.Counter.make "lp.bounded.pivots"
-let c_flips = Obs.Counter.make "lp.bounded.bound_flips"
+let c_iters = Obs.Counter.(labeled (make_labeled "lp_iters" ~labels:[ "solver" ]) [ "bounded" ])
+let c_pivots = Obs.Counter.(labeled (make_labeled "lp_pivots" ~labels:[ "solver" ]) [ "bounded" ])
+let c_flips = Obs.Counter.(labeled (make_labeled "lp_bound_flips" ~labels:[ "solver" ]) [ "bounded" ])
 
 type outcome =
   | Optimal of { objective : float; solution : float array }

@@ -36,5 +36,6 @@ val solve :
     [50_000]): a run needing [p] of them returns its result with
     [max_iters = p] and [Iteration_limit] with [max_iters = p - 1].
     @param metrics accumulates work counts into the given record
-    (see {!Solver_metrics}); also feeds the [lp.bounded.*]
-    observability counters ({!Tin_obs.Obs}). *)
+    (see {!Solver_metrics}); also feeds the [lp_iters] / [lp_pivots] /
+    [lp_bound_flips] labeled observability counters with
+    [solver="bounded"] ({!Tin_obs.Obs}). *)

@@ -1,3 +1,6 @@
+let h_solve_ms_fam = Tin_obs.Obs.Histogram.make_labeled "lp_solve_ms" ~labels:[ "solver" ]
+let h_solve_ms solver = Tin_obs.Obs.Histogram.labeled h_solve_ms_fam [ solver ]
+
 type var = int
 
 type status = [ `Optimal | `Infeasible | `Unbounded | `Iteration_limit ]
@@ -234,16 +237,27 @@ let solve ?(solver = `Auto) ?eps ?max_iters ?metrics t =
           vars;
         Simplex.solve ?eps ?max_iters ?metrics ~c ~rows:!rows ()
     in
+    let solver_name =
+      match choice with `Sparse -> "sparse" | `Bounded -> "bounded" | `Dense -> "dense"
+    in
+    (* Latency histogram per backend; the clock reads are gated so the
+       disabled path stays syscall-free. *)
+    let compute =
+      if Atomic.get Tin_obs.Obs.enabled then fun () ->
+        let t0 = Tin_util.Timer.now_ns () in
+        let outcome = compute () in
+        let dt_ms = Int64.to_float (Int64.sub (Tin_util.Timer.now_ns ()) t0) /. 1e6 in
+        Tin_obs.Obs.Histogram.observe (h_solve_ms solver_name) dt_ms;
+        outcome
+      else compute
+    in
     (* Span args are only materialized when tracing is on: the disabled
        path must not allocate. *)
     if Tin_obs.Obs.tracking () then
       Tin_obs.Obs.Span.with_ "lp.solve"
         ~args:
           [
-            ( "solver",
-              match choice with `Sparse -> "sparse" | `Bounded -> "bounded" | `Dense -> "dense" );
-            ("vars", string_of_int n);
-            ("rows", string_of_int t.nrows);
+            ("solver", solver_name); ("vars", string_of_int n); ("rows", string_of_int t.nrows);
           ]
         compute
     else compute ()

@@ -1,8 +1,11 @@
 module Obs = Tin_obs.Obs
 
-let c_phase1 = Obs.Counter.make "lp.dense.phase1_iters"
-let c_phase2 = Obs.Counter.make "lp.dense.phase2_iters"
-let c_pivots = Obs.Counter.make "lp.dense.pivots"
+(* One labeled family per kind of work, shared by all three solvers:
+   a scrape reads [lp_pivots{solver="dense"}] next to
+   [lp_pivots{solver="sparse"}] instead of three unrelated names. *)
+let c_phase1 = Obs.Counter.(labeled (make_labeled "lp_phase1_iters" ~labels:[ "solver" ]) [ "dense" ])
+let c_phase2 = Obs.Counter.(labeled (make_labeled "lp_phase2_iters" ~labels:[ "solver" ]) [ "dense" ])
+let c_pivots = Obs.Counter.(labeled (make_labeled "lp_pivots" ~labels:[ "solver" ]) [ "dense" ])
 
 type sense = Le | Ge | Eq
 

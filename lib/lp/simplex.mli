@@ -42,4 +42,5 @@ val solve :
     with [max_iters = p] and [Iteration_limit] with [max_iters = p - 1].
     @param metrics accumulates pivot counts into the given record
     (see {!Solver_metrics}); the same counts also feed the
-    [lp.dense.*] observability counters ({!Tin_obs.Obs}). *)
+    [lp_phase1_iters] / [lp_phase2_iters] / [lp_pivots] labeled
+    observability counters with [solver="dense"] ({!Tin_obs.Obs}). *)

@@ -1,10 +1,10 @@
 module Obs = Tin_obs.Obs
 
-let c_iters = Obs.Counter.make "lp.sparse.iters"
-let c_pivots = Obs.Counter.make "lp.sparse.pivots"
-let c_flips = Obs.Counter.make "lp.sparse.bound_flips"
-let c_refact = Obs.Counter.make "lp.sparse.refactorizations"
-let c_eta_resets = Obs.Counter.make "lp.sparse.eta_resets"
+let c_iters = Obs.Counter.(labeled (make_labeled "lp_iters" ~labels:[ "solver" ]) [ "sparse" ])
+let c_pivots = Obs.Counter.(labeled (make_labeled "lp_pivots" ~labels:[ "solver" ]) [ "sparse" ])
+let c_flips = Obs.Counter.(labeled (make_labeled "lp_bound_flips" ~labels:[ "solver" ]) [ "sparse" ])
+let c_refact = Obs.Counter.(labeled (make_labeled "lp_refactorizations" ~labels:[ "solver" ]) [ "sparse" ])
+let c_eta_resets = Obs.Counter.(labeled (make_labeled "lp_eta_resets" ~labels:[ "solver" ]) [ "sparse" ])
 
 type outcome =
   | Optimal of { objective : float; solution : float array }

@@ -42,6 +42,8 @@ val solve :
     returns its result with [max_iters = p] and [Iteration_limit] with
     [max_iters = p - 1].  [metrics] accumulates the work counts into
     the given record (see {!Solver_metrics}); the same counts also feed
-    the [lp.sparse.*] observability counters ({!Tin_obs.Obs}).
+    the [lp_iters] / [lp_pivots] / [lp_bound_flips] /
+    [lp_refactorizations] / [lp_eta_resets] labeled observability
+    counters with [solver="sparse"] ({!Tin_obs.Obs}).
     @raise Invalid_argument on arity mismatches, negative [rhs] or
     [upper], or out-of-range row indices. *)

@@ -1,11 +1,21 @@
 module Stats = Tin_util.Stats
 module Timer = Tin_util.Timer
 module Table = Tin_util.Table
+module Json = Tin_util.Json
 
 let enabled : bool Atomic.t = Atomic.make false
 let tracking () = Atomic.get enabled
 let enable () = Atomic.set enabled true
 let disable () = Atomic.set enabled false
+
+(* Domains that have materialized at least one metric cell — the
+   denominator the runtime sampler publishes as [runtime_obs_domains].
+   The marker key increments once per domain, forced from every
+   shard's cell initializer (cold path only). *)
+let registered_domains = Atomic.make 0
+
+let domain_marker : unit Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Atomic.incr registered_domains)
 
 (* One cell per (metric, domain).  The domain-local key materializes a
    fresh cell on a domain's first touch and registers it in the
@@ -22,6 +32,7 @@ module Shard = struct
     let cells = Atomic.make [] in
     let key =
       Domain.DLS.new_key (fun () ->
+          Domain.DLS.get domain_marker;
           let c = make () in
           let rec push () =
             let old = Atomic.get cells in
@@ -36,13 +47,44 @@ module Shard = struct
   let all t = Atomic.get t.cells
 end
 
+(* --- label encoding ------------------------------------------------ *)
+
+(* Prometheus-style label-value escaping, also used to render a family
+   member's registered name (e.g. [lp_pivots{solver="sparse"}]).
+   Control characters other than newline have no escape in the text
+   exposition format; they are replaced so the output stays
+   line-oriented. *)
+let label_escape v =
+  let b = Buffer.create (String.length v + 4) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_char b '_'
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+let encode_name base labels =
+  if labels = [] then base
+  else
+    base ^ "{"
+    ^ String.concat "," (List.map (fun (k, v) -> k ^ "=\"" ^ label_escape v ^ "\"") labels)
+    ^ "}"
+
 module Counter0 = struct
   type cell = { mutable n : int }
-  type t = { name : string; shard : cell Shard.t }
+  type t = { name : string; base : string; labels : (string * string) list; shard : cell Shard.t }
 
   let incr c = if Atomic.get enabled then (Shard.local c.shard).n <- (Shard.local c.shard).n + 1
 
   let add c k =
+    (* Checked even while disabled: a counter is monotone (Prometheus
+       counters must never decrease), and misuse must not hide behind
+       the runtime flag. *)
+    if k < 0 then invalid_arg "Obs.Counter.add: negative increment on a monotone counter";
     if k <> 0 && Atomic.get enabled then begin
       let cell = Shard.local c.shard in
       cell.n <- cell.n + k
@@ -51,12 +93,63 @@ module Counter0 = struct
   let value c = List.fold_left (fun acc cell -> acc + cell.n) 0 (Shard.all c.shard)
   let name c = c.name
   let reset c = List.iter (fun cell -> cell.n <- 0) (Shard.all c.shard)
-  let create name = { name; shard = Shard.create (fun () -> { n = 0 }) }
+
+  let create ~base ~labels name =
+    { name; base; labels; shard = Shard.create (fun () -> { n = 0 }) }
+end
+
+(* Gauges are last-write-wins: each write stamps the writing domain's
+   cell from a global sequence, and reads return the freshest cell.
+   Stamp 0 means "never written since reset" — such cells (and wholly
+   unwritten gauges) are invisible to the exporters. *)
+let gauge_clock = Atomic.make 0
+
+module Gauge0 = struct
+  type cell = { mutable v : float; mutable stamp : int }
+  type t = { name : string; base : string; labels : (string * string) list; shard : cell Shard.t }
+
+  let bump () = 1 + Atomic.fetch_and_add gauge_clock 1
+
+  let set g x =
+    if Atomic.get enabled then begin
+      let cell = Shard.local g.shard in
+      cell.v <- x;
+      cell.stamp <- bump ()
+    end
+
+  let add g dx =
+    if Atomic.get enabled then begin
+      let cell = Shard.local g.shard in
+      cell.v <- (if cell.stamp = 0 then dx else cell.v +. dx);
+      cell.stamp <- bump ()
+    end
+
+  let freshest g =
+    List.fold_left
+      (fun acc (cell : cell) ->
+        match acc with
+        | Some (stamp, _) when stamp >= cell.stamp -> acc
+        | _ -> if cell.stamp = 0 then acc else Some (cell.stamp, cell.v))
+      None (Shard.all g.shard)
+
+  let value g = match freshest g with Some (_, v) -> v | None -> Float.nan
+  let is_set g = freshest g <> None
+  let name g = g.name
+
+  let reset g =
+    List.iter
+      (fun (cell : cell) ->
+        cell.v <- 0.0;
+        cell.stamp <- 0)
+      (Shard.all g.shard)
+
+  let create ~base ~labels name =
+    { name; base; labels; shard = Shard.create (fun () -> { v = 0.0; stamp = 0 }) }
 end
 
 module Histogram0 = struct
   type cell = { mutable acc : Stats.Acc.t }
-  type t = { name : string; shard : cell Shard.t }
+  type t = { name : string; base : string; labels : (string * string) list; shard : cell Shard.t }
 
   let observe h x = if Atomic.get enabled then Stats.Acc.add (Shard.local h.shard).acc x
 
@@ -67,7 +160,9 @@ module Histogram0 = struct
 
   let name h = h.name
   let reset h = List.iter (fun cell -> cell.acc <- Stats.Acc.create ()) (Shard.all h.shard)
-  let create name = { name; shard = Shard.create (fun () -> { acc = Stats.Acc.create () }) }
+
+  let create ~base ~labels name =
+    { name; base; labels; shard = Shard.create (fun () -> { acc = Stats.Acc.create () }) }
 end
 
 type event = {
@@ -80,9 +175,13 @@ type event = {
 
 (* --- registry (creation/lookup only; never on the hot path) --- *)
 
-type metric = C of Counter0.t | H of Histogram0.t
+type metric = C of Counter0.t | G of Gauge0.t | H of Histogram0.t
 
 let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+(* Family name -> label keys, so two [make_labeled] calls (possibly in
+   different modules) agree on the label schema. *)
+let families : (string, string list) Hashtbl.t = Hashtbl.create 16
 let registry_lock = Mutex.create ()
 
 let find_or_create name make wrap unwrap =
@@ -97,18 +196,56 @@ let find_or_create name make wrap unwrap =
           Hashtbl.replace registry name (wrap v);
           v)
 
+type family_id = { fbase : string; fkeys : string list }
+
+let register_family base keys =
+  if keys = [] then invalid_arg ("Obs: labeled family needs at least one label: " ^ base);
+  Mutex.protect registry_lock (fun () ->
+      match Hashtbl.find_opt families base with
+      | Some existing when existing = keys -> ()
+      | Some _ -> invalid_arg ("Obs: family registered with different labels: " ^ base)
+      | None -> Hashtbl.replace families base keys);
+  { fbase = base; fkeys = keys }
+
+let family_member fam values create wrap unwrap =
+  if List.length values <> List.length fam.fkeys then
+    invalid_arg
+      (Printf.sprintf "Obs: family %s expects %d label value(s), got %d" fam.fbase
+         (List.length fam.fkeys) (List.length values));
+  let labels = List.combine fam.fkeys values in
+  find_or_create (encode_name fam.fbase labels) (create ~base:fam.fbase ~labels) wrap unwrap
+
 module Counter = struct
   include Counter0
 
-  let make name =
-    find_or_create name Counter0.create (fun c -> C c) (function C c -> Some c | H _ -> None)
+  type family = family_id
+
+  let un = function C c -> Some c | _ -> None
+  let make name = find_or_create name (Counter0.create ~base:name ~labels:[]) (fun c -> C c) un
+  let make_labeled name ~labels = register_family name labels
+  let labeled fam values = family_member fam values Counter0.create (fun c -> C c) un
+end
+
+module Gauge = struct
+  include Gauge0
+
+  type family = family_id
+
+  let un = function G g -> Some g | _ -> None
+  let make name = find_or_create name (Gauge0.create ~base:name ~labels:[]) (fun g -> G g) un
+  let make_labeled name ~labels = register_family name labels
+  let labeled fam values = family_member fam values Gauge0.create (fun g -> G g) un
 end
 
 module Histogram = struct
   include Histogram0
 
-  let make name =
-    find_or_create name Histogram0.create (fun h -> H h) (function H h -> Some h | C _ -> None)
+  type family = family_id
+
+  let un = function H h -> Some h | _ -> None
+  let make name = find_or_create name (Histogram0.create ~base:name ~labels:[]) (fun h -> H h) un
+  let make_labeled name ~labels = register_family name labels
+  let labeled fam values = family_member fam values Histogram0.create (fun h -> H h) un
 end
 
 (* --- span buffers --- *)
@@ -151,17 +288,23 @@ end
 (* --- reads --- *)
 
 let metrics () =
-  Mutex.protect registry_lock (fun () ->
-      Hashtbl.fold (fun _ m acc -> m :: acc) registry [])
+  Mutex.protect registry_lock (fun () -> Hashtbl.fold (fun _ m acc -> m :: acc) registry [])
 
 let counters () =
   metrics ()
-  |> List.filter_map (function C c -> Some (Counter.name c, Counter.value c) | H _ -> None)
+  |> List.filter_map (function C c -> Some (Counter.name c, Counter.value c) | _ -> None)
   |> List.sort compare
+
+let gauges () =
+  metrics ()
+  |> List.filter_map (function
+       | G g when Gauge0.is_set g -> Some (Gauge.name g, Gauge.value g)
+       | _ -> None)
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let histograms () =
   metrics ()
-  |> List.filter_map (function H h -> Some (Histogram.name h, Histogram.summary h) | C _ -> None)
+  |> List.filter_map (function H h -> Some (Histogram.name h, Histogram.summary h) | _ -> None)
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let trace_events () =
@@ -173,7 +316,9 @@ let dropped_events () =
   List.fold_left (fun acc cell -> acc + cell.dropped) 0 (Shard.all span_shard)
 
 let reset () =
-  List.iter (function C c -> Counter.reset c | H h -> Histogram.reset h) (metrics ());
+  List.iter
+    (function C c -> Counter.reset c | G g -> Gauge0.reset g | H h -> Histogram.reset h)
+    (metrics ());
   List.iter
     (fun cell ->
       cell.evs <- [];
@@ -181,24 +326,106 @@ let reset () =
       cell.dropped <- 0)
     (Shard.all span_shard)
 
+(* --- runtime telemetry sampler ------------------------------------- *)
+
+module Runtime = struct
+  let g_minor = Gauge.make "runtime_gc_minor_collections"
+  let g_major = Gauge.make "runtime_gc_major_collections"
+  let g_compact = Gauge.make "runtime_gc_compactions"
+  let g_minor_words = Gauge.make "runtime_gc_minor_words"
+  let g_promoted = Gauge.make "runtime_gc_promoted_words"
+  let g_heap = Gauge.make "runtime_gc_heap_words"
+  let g_domains = Gauge.make "runtime_obs_domains"
+  let g_rss_pages = Gauge.make "runtime_rss_pages"
+  let g_rss_bytes = Gauge.make "runtime_rss_bytes"
+
+  (* Resident set size in pages: second field of /proc/self/statm
+     (Linux; absent elsewhere, in which case the RSS gauges stay
+     unset).  Byte conversion assumes the common 4 KiB page — the page
+     count itself is exported alongside, so nothing is lost on
+     large-page kernels. *)
+  let rss_pages () =
+    match open_in "/proc/self/statm" with
+    | exception Sys_error _ -> None
+    | ic ->
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            match input_line ic with
+            | exception End_of_file -> None
+            | line -> (
+                match String.split_on_char ' ' line with
+                | _ :: resident :: _ -> int_of_string_opt resident
+                | _ -> None))
+
+  let sample () =
+    let st = Gc.quick_stat () in
+    Gauge.set g_minor (float_of_int st.Gc.minor_collections);
+    Gauge.set g_major (float_of_int st.Gc.major_collections);
+    Gauge.set g_compact (float_of_int st.Gc.compactions);
+    Gauge.set g_minor_words st.Gc.minor_words;
+    Gauge.set g_promoted st.Gc.promoted_words;
+    Gauge.set g_heap (float_of_int st.Gc.heap_words);
+    Gauge.set g_domains (float_of_int (Atomic.get registered_domains));
+    match rss_pages () with
+    | Some pages ->
+        Gauge.set g_rss_pages (float_of_int pages);
+        Gauge.set g_rss_bytes (float_of_int pages *. 4096.0)
+    | None -> ()
+
+  let lock = Mutex.create ()
+  let state : (bool Atomic.t * Thread.t) option ref = ref None
+
+  let running () = Mutex.protect lock (fun () -> Option.is_some !state)
+
+  let start ?(period_ms = 500) () =
+    if period_ms <= 0 then invalid_arg "Obs.Runtime.start: period_ms must be positive";
+    Mutex.protect lock (fun () ->
+        if Option.is_none !state then begin
+          sample ();
+          let stop_flag = Atomic.make false in
+          let thread =
+            Thread.create
+              (fun () ->
+                (* Sleep in short slices so [stop] joins promptly even
+                   with a long sampling period. *)
+                let slice = Float.min 0.1 (float_of_int period_ms /. 1000.0) in
+                let rec run () =
+                  if not (Atomic.get stop_flag) then begin
+                    let slept = ref 0.0 in
+                    while !slept < float_of_int period_ms /. 1000.0 && not (Atomic.get stop_flag)
+                    do
+                      Thread.delay slice;
+                      slept := !slept +. slice
+                    done;
+                    if not (Atomic.get stop_flag) then sample ();
+                    run ()
+                  end
+                in
+                run ())
+              ()
+          in
+          state := Some (stop_flag, thread)
+        end)
+
+  let stop () =
+    let stopped =
+      Mutex.protect lock (fun () ->
+          let s = !state in
+          state := None;
+          s)
+    in
+    match stopped with
+    | None -> ()
+    | Some (flag, thread) ->
+        Atomic.set flag true;
+        Thread.join thread
+end
+
 (* --- JSON exporters (hand-rolled, like the bench harness: only
    strings, ints and floats appear) --- *)
 
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\t' -> Buffer.add_string b "\\t"
-      | '\r' -> Buffer.add_string b "\\r"
-      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
+let json_escape = Json.escape
 let json_float f = if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
 
 let json_args args =
@@ -209,13 +436,15 @@ let json_args args =
 
 (* Microseconds rebased to the earliest span: Chrome-trace viewers
    expect small monotonic offsets, and a double keeps full precision
-   once the (huge) absolute clock origin is gone. *)
+   once the (huge) absolute clock origin is gone.  The top level is
+   the Chrome-trace JSON {e Object Format} so span loss is visible in
+   the artifact itself as a "dropped_events" field. *)
 let chrome_trace_json () =
   let evs = trace_events () in
   let base = match evs with [] -> 0L | e :: _ -> e.ts_ns in
   let us ns = Int64.to_float (Int64.sub ns base) /. 1e3 in
   let b = Buffer.create 4096 in
-  Buffer.add_string b "[\n";
+  Buffer.add_string b "{\"traceEvents\": [\n";
   let first = ref true in
   let emit line =
     if not !first then Buffer.add_string b ",\n";
@@ -253,7 +482,7 @@ let chrome_trace_json () =
               \"p\", \"args\": {\"value\": \"%d\"}}"
              (json_escape name) v))
     (counters ());
-  Buffer.add_string b "\n]\n";
+  Buffer.add_string b (Printf.sprintf "\n], \"dropped_events\": %d}\n" (dropped_events ()));
   Buffer.contents b
 
 let metrics_json () =
@@ -262,10 +491,15 @@ let metrics_json () =
   add "{\n  \"counters\": {";
   let cs = counters () in
   List.iteri
-    (fun i (name, v) ->
-      add "%s\n    \"%s\": %d" (if i = 0 then "" else ",") (json_escape name) v)
+    (fun i (name, v) -> add "%s\n    \"%s\": %d" (if i = 0 then "" else ",") (json_escape name) v)
     cs;
-  add "%s},\n  \"histograms\": {" (if cs = [] then "" else "\n  ");
+  add "%s},\n  \"gauges\": {" (if cs = [] then "" else "\n  ");
+  let gs = gauges () in
+  List.iteri
+    (fun i (name, v) ->
+      add "%s\n    \"%s\": %s" (if i = 0 then "" else ",") (json_escape name) (json_float v))
+    gs;
+  add "%s},\n  \"histograms\": {" (if gs = [] then "" else "\n  ");
   let hs = histograms () in
   List.iteri
     (fun i (name, (s : Stats.summary)) ->
@@ -279,17 +513,170 @@ let metrics_json () =
   add "%s},\n  \"dropped_events\": %d\n}\n" (if hs = [] then "" else "\n  ") (dropped_events ());
   Buffer.contents b
 
+(* --- Prometheus text exposition (format version 0.0.4) ------------- *)
+
+(* Metric names are restricted to [a-zA-Z_:][a-zA-Z0-9_:]*; the
+   repository's dotted names map dots (and anything else) to
+   underscores, so counter [pipeline.stage.lp_solve] exports as
+   [pipeline_stage_lp_solve]. *)
+let prom_name s =
+  let b = Buffer.create (String.length s) in
+  String.iteri
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> Buffer.add_char b c
+      | '0' .. '9' ->
+          if i = 0 then Buffer.add_char b '_';
+          Buffer.add_char b c
+      | _ -> Buffer.add_char b '_')
+    s;
+  if Buffer.length b = 0 then "_" else Buffer.contents b
+
+let help_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_char b '_'
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let prom_labels labels =
+  if labels = [] then ""
+  else
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> prom_name k ^ "=\"" ^ label_escape v ^ "\"") labels)
+    ^ "}"
+
+let prom_float f =
+  if Float.is_nan f then "NaN"
+  else if f = Float.infinity then "+Inf"
+  else if f = Float.neg_infinity then "-Inf"
+  else Printf.sprintf "%.17g" f
+
+let prometheus_text () =
+  let b = Buffer.create 4096 in
+  let header name typ help =
+    Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" name (help_escape help));
+    Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name typ)
+  in
+  (* Group family members (and standalone metrics) by base name so all
+     samples of one metric name form one block, as the format
+     requires. *)
+  let group_by_base entries =
+    let tbl = Hashtbl.create 32 in
+    let order = ref [] in
+    List.iter
+      (fun (base, labels, v) ->
+        (match Hashtbl.find_opt tbl base with
+        | None ->
+            order := base :: !order;
+            Hashtbl.replace tbl base [ (labels, v) ]
+        | Some rows -> Hashtbl.replace tbl base ((labels, v) :: rows)))
+      entries;
+    List.rev_map (fun base -> (base, List.rev (Hashtbl.find tbl base))) !order
+    |> List.sort (fun (a, _) (c, _) -> compare a c)
+  in
+  let ms = metrics () in
+  let cs =
+    List.filter_map
+      (function C c -> Some (c.Counter0.base, c.Counter0.labels, Counter0.value c) | _ -> None)
+      ms
+    |> List.sort compare
+  in
+  List.iter
+    (fun (base, rows) ->
+      let name = prom_name base in
+      header name "counter" ("tinflow counter " ^ base);
+      List.iter
+        (fun (labels, v) -> Buffer.add_string b (Printf.sprintf "%s%s %d\n" name (prom_labels labels) v))
+        rows)
+    (group_by_base cs);
+  let gs =
+    List.filter_map
+      (function
+        | G g when Gauge0.is_set g -> Some (g.Gauge0.base, g.Gauge0.labels, Gauge0.value g)
+        | _ -> None)
+      ms
+    |> List.sort compare
+  in
+  List.iter
+    (fun (base, rows) ->
+      let name = prom_name base in
+      header name "gauge" ("tinflow gauge " ^ base);
+      List.iter
+        (fun (labels, v) ->
+          Buffer.add_string b (Printf.sprintf "%s%s %s\n" name (prom_labels labels) (prom_float v)))
+        rows)
+    (group_by_base gs);
+  (* Histogram summaries export as four gauge families: _count always,
+     _sum/_min/_max only for nonempty members (min/max of an empty
+     sample have no value). *)
+  let hs =
+    List.filter_map
+      (function
+        | H h -> Some (h.Histogram0.base, h.Histogram0.labels, Histogram0.summary h) | _ -> None)
+      ms
+    |> List.sort compare
+  in
+  List.iter
+    (fun (base, rows) ->
+      let emit_part suffix help value_of keep =
+        let kept = List.filter (fun (_, s) -> keep s) rows in
+        if kept <> [] then begin
+          let name = prom_name base ^ suffix in
+          header name "gauge" (help ^ " " ^ base);
+          List.iter
+            (fun (labels, s) ->
+              Buffer.add_string b
+                (Printf.sprintf "%s%s %s\n" name (prom_labels labels) (prom_float (value_of s))))
+            kept
+        end
+      in
+      emit_part "_count" "observation count of histogram"
+        (fun (s : Stats.summary) -> float_of_int s.Stats.count)
+        (fun _ -> true);
+      emit_part "_sum" "observation sum of histogram"
+        (fun s -> s.Stats.total)
+        (fun s -> s.Stats.count > 0);
+      emit_part "_min" "observation minimum of histogram"
+        (fun s -> s.Stats.min)
+        (fun s -> s.Stats.count > 0);
+      emit_part "_max" "observation maximum of histogram"
+        (fun s -> s.Stats.max)
+        (fun s -> s.Stats.count > 0))
+    (group_by_base hs);
+  (* Span loss is part of the scrape: a dashboard can alert on it. *)
+  header "obs_dropped_span_events" "counter" "spans dropped at the per-domain buffer cap";
+  Buffer.add_string b (Printf.sprintf "obs_dropped_span_events %d\n" (dropped_events ()));
+  Buffer.contents b
+
 let write_chrome_trace path =
   let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
-      output_string oc (chrome_trace_json ()))
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (chrome_trace_json ()))
 
 let print_summary oc =
+  if dropped_events () > 0 then
+    Printf.fprintf oc
+      "observability: WARNING: %d span(s) dropped (per-domain buffer cap %d reached; the trace \
+       is incomplete)\n"
+      (dropped_events ()) max_events_per_domain;
   let cs = List.filter (fun (_, v) -> v <> 0) (counters ()) in
   if cs <> [] then
     output_string oc
       (Table.render ~title:"observability: counters" ~header:[ "counter"; "value" ]
          (List.map (fun (n, v) -> [ n; string_of_int v ]) cs));
+  let gs = gauges () in
+  if gs <> [] then
+    output_string oc
+      (Table.render ~title:"observability: gauges" ~header:[ "gauge"; "value" ]
+         (List.map (fun (n, v) -> [ n; Printf.sprintf "%.4g" v ]) gs));
   let hs = List.filter (fun (_, (s : Stats.summary)) -> s.Stats.count > 0) (histograms ()) in
   if hs <> [] then
     output_string oc
@@ -310,5 +697,5 @@ let print_summary oc =
   if spans > 0 || dropped_events () > 0 then
     Printf.fprintf oc "observability: %d span(s) recorded%s\n" spans
       (match dropped_events () with 0 -> "" | d -> Printf.sprintf ", %d dropped" d);
-  if cs = [] && hs = [] && spans = 0 then
+  if cs = [] && gs = [] && hs = [] && spans = 0 then
     output_string oc "observability: no metrics recorded\n"

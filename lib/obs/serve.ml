@@ -1,0 +1,137 @@
+type t = {
+  sock : Unix.file_descr;
+  bound_port : int;
+  stopping : bool Atomic.t;
+  domain : unit Domain.t;
+  mutable stopped : bool;  (* driven only by the owning (stopping) caller *)
+}
+
+let http_status = function
+  | 200 -> "200 OK"
+  | 400 -> "400 Bad Request"
+  | 404 -> "404 Not Found"
+  | 405 -> "405 Method Not Allowed"
+  | _ -> "500 Internal Server Error"
+
+let respond fd ~code ~content_type body =
+  let head =
+    Printf.sprintf
+      "HTTP/1.1 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n"
+      (http_status code) content_type (String.length body)
+  in
+  let payload = Bytes.of_string (head ^ body) in
+  let n = Bytes.length payload in
+  let off = ref 0 in
+  (try
+     while !off < n do
+       off := !off + Unix.write fd payload !off (n - !off)
+     done
+   with Unix.Unix_error _ -> (* peer went away mid-response; its problem *) ())
+
+(* Read until the blank line ending the request head (we never accept
+   bodies), bounded in size and time so a stalled or malicious peer
+   cannot wedge the endpoint. *)
+let read_request fd =
+  let buf = Bytes.create 1024 in
+  let acc = Buffer.create 256 in
+  let rec go () =
+    if Buffer.length acc > 8192 then None
+    else
+      let got = try Unix.read fd buf 0 (Bytes.length buf) with Unix.Unix_error _ -> 0 in
+      if got = 0 then None
+      else begin
+        Buffer.add_subbytes acc buf 0 got;
+        let s = Buffer.contents acc in
+        let module S = String in
+        let rec has_terminator i =
+          i + 3 < S.length s
+          && ((s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r' && s.[i + 3] = '\n')
+             || has_terminator (i + 1))
+        in
+        let has_lf_terminator =
+          (* Tolerate bare-LF clients (netcat-style smoke tests). *)
+          let rec go i =
+            i + 1 < S.length s && ((s.[i] = '\n' && s.[i + 1] = '\n') || go (i + 1))
+          in
+          go 0
+        in
+        if has_terminator 0 || has_lf_terminator then Some s else go ()
+      end
+  in
+  go ()
+
+let handle fd =
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 2.0;
+  Unix.setsockopt_float fd Unix.SO_SNDTIMEO 2.0;
+  (match read_request fd with
+  | None -> respond fd ~code:400 ~content_type:"text/plain; charset=utf-8" "bad request\n"
+  | Some request -> (
+      let first_line =
+        match String.index_opt request '\n' with
+        | Some i -> String.trim (String.sub request 0 i)
+        | None -> String.trim request
+      in
+      match String.split_on_char ' ' first_line with
+      | [ "GET"; target; _ ] | [ "GET"; target ] -> (
+          let path =
+            match String.index_opt target '?' with
+            | Some i -> String.sub target 0 i
+            | None -> target
+          in
+          match path with
+          | "/metrics" ->
+              respond fd ~code:200
+                ~content_type:"text/plain; version=0.0.4; charset=utf-8"
+                (Obs.prometheus_text ())
+          | "/metrics.json" ->
+              respond fd ~code:200 ~content_type:"application/json" (Obs.metrics_json ())
+          | "/healthz" -> respond fd ~code:200 ~content_type:"text/plain; charset=utf-8" "ok\n"
+          | _ -> respond fd ~code:404 ~content_type:"text/plain; charset=utf-8" "not found\n")
+      | verb :: _ when verb <> "GET" ->
+          respond fd ~code:405 ~content_type:"text/plain; charset=utf-8" "GET only\n"
+      | _ -> respond fd ~code:400 ~content_type:"text/plain; charset=utf-8" "bad request\n"));
+  (try Unix.close fd with Unix.Unix_error _ -> ())
+
+(* Accept with a select timeout instead of blocking: closing a socket
+   another domain is blocked in [accept] on does not reliably wake it,
+   while a short poll loop observes the stop flag promptly. *)
+let serve_loop sock stopping =
+  let rec loop () =
+    if not (Atomic.get stopping) then begin
+      (match Unix.select [ sock ] [] [] 0.2 with
+      | [ _ ], _, _ when not (Atomic.get stopping) -> (
+          match Unix.accept ~cloexec:true sock with
+          | client, _ -> handle client
+          | exception Unix.Unix_error _ -> ())
+      | _ -> ()
+      | exception Unix.Unix_error _ -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+let start ?(addr = "0.0.0.0") ~port () =
+  let sock = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt sock Unix.SO_REUSEADDR true;
+     Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string addr, port));
+     Unix.listen sock 16
+   with e ->
+     (try Unix.close sock with Unix.Unix_error _ -> ());
+     raise e);
+  let bound_port =
+    match Unix.getsockname sock with Unix.ADDR_INET (_, p) -> p | Unix.ADDR_UNIX _ -> port
+  in
+  let stopping = Atomic.make false in
+  let domain = Domain.spawn (fun () -> serve_loop sock stopping) in
+  { sock; bound_port; stopping; domain; stopped = false }
+
+let port t = t.bound_port
+
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    Atomic.set t.stopping true;
+    Domain.join t.domain;
+    try Unix.close t.sock with Unix.Unix_error _ -> ()
+  end

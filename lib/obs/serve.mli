@@ -1,0 +1,33 @@
+(** Minimal HTTP/1.1 metrics endpoint on stdlib [Unix] (no new
+    dependencies): a Prometheus scrape target for long-running
+    [tinflow] jobs.
+
+    Routes:
+    - [GET /metrics] — {!Obs.prometheus_text}, served as
+      [text/plain; version=0.0.4]
+    - [GET /metrics.json] — {!Obs.metrics_json}
+    - [GET /healthz] — ["ok"], for liveness probes and smoke tests
+
+    The accept loop runs on its own domain, so a scrape never blocks a
+    solver domain; each export merges the per-domain metric cells
+    under the documented tolerated read-race (a scrape may miss the
+    racing increments but counter reads are monotone across successive
+    scrapes — regression-tested).  Connections are served one at a
+    time with short socket timeouts: a scraper is the only intended
+    client, and a stalled peer must not wedge the endpoint. *)
+
+type t
+
+val start : ?addr:string -> port:int -> unit -> t
+(** [start ~port ()] binds [addr] (default ["0.0.0.0"]) : [port]
+    ([SO_REUSEADDR] set; port [0] picks an ephemeral port — see
+    {!port}) and spawns the serving domain.
+    @raise Unix.Unix_error when the bind fails (port in use,
+    privileged port). *)
+
+val port : t -> int
+(** The bound port (useful after [start ~port:0]). *)
+
+val stop : t -> unit
+(** Shut the endpoint down and join its domain; idempotent.  In-flight
+    requests finish; the listening socket closes. *)

@@ -1,0 +1,143 @@
+type status = Ok_within | Improved | Regressed | Added | Removed
+
+type row = {
+  path : string;
+  baseline : float option;
+  current : float option;
+  delta_pct : float option;
+  status : status;
+}
+
+(* Array elements keyed by an identifying field so that reordering or
+   extending a list (another dataset, another job count) moves one
+   path, not all of them. *)
+let element_key (v : Json.t) =
+  let field k =
+    match Json.member k v with
+    | Some (Json.Str s) -> Some s
+    | Some (Json.Num f) -> Some (Printf.sprintf "%g" f)
+    | _ -> None
+  in
+  List.find_map field [ "name"; "class"; "jobs"; "pattern" ]
+
+let flatten (doc : Json.t) =
+  let out = ref [] in
+  let join prefix k = if prefix = "" then k else prefix ^ "." ^ k in
+  let rec go prefix (v : Json.t) =
+    match v with
+    | Json.Num f -> out := (prefix, f) :: !out
+    | Json.Obj kvs -> List.iter (fun (k, v) -> go (join prefix k) v) kvs
+    | Json.Arr vs ->
+        List.iteri
+          (fun i v ->
+            let k = match element_key v with Some k -> k | None -> string_of_int i in
+            go (join prefix k) v)
+          vs
+    | Json.Null | Json.Bool _ | Json.Str _ -> ()
+  in
+  go "" doc;
+  List.rev !out
+
+(* Facts of the machine, not of the code under test. *)
+let ignored path =
+  let last =
+    match String.rindex_opt path '.' with
+    | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+    | None -> path
+  in
+  last = "domains_available"
+
+type direction = Lower_better | Higher_better | Exact
+
+let direction path =
+  let has needle =
+    let n = String.length needle and h = String.length path in
+    let rec go i = i + n <= h && (String.sub path i n = needle || go (i + 1)) in
+    go 0
+  in
+  if has "_ms" || has "_secs" || has "wall" then Lower_better
+  else if has "_per_s" || has "speedup" then Higher_better
+  else Exact
+
+let judge ~tolerance_pct path base cur =
+  let tol = tolerance_pct /. 100.0 in
+  let denom = Float.max (Float.abs base) 1e-12 in
+  let delta = (cur -. base) /. denom in
+  let beyond = Float.abs delta > tol in
+  let status =
+    if not beyond then Ok_within
+    else
+      match direction path with
+      | Lower_better -> if delta > 0.0 then Regressed else Improved
+      | Higher_better -> if delta < 0.0 then Regressed else Improved
+      | Exact -> Regressed
+  in
+  (100.0 *. delta, status)
+
+let compare_docs ?(tolerance_pct = 15.0) ~baseline ~current () =
+  let b = flatten baseline and c = flatten current in
+  let c_tbl = Hashtbl.create 64 in
+  List.iter (fun (p, v) -> Hashtbl.replace c_tbl p v) c;
+  let b_paths = Hashtbl.create 64 in
+  List.iter (fun (p, _) -> Hashtbl.replace b_paths p ()) b;
+  let shared_and_removed =
+    List.filter_map
+      (fun (path, bv) ->
+        if ignored path then None
+        else
+          match Hashtbl.find_opt c_tbl path with
+          | Some cv ->
+              let delta_pct, status = judge ~tolerance_pct path bv cv in
+              Some
+                {
+                  path;
+                  baseline = Some bv;
+                  current = Some cv;
+                  delta_pct = Some delta_pct;
+                  status;
+                }
+          | None ->
+              Some { path; baseline = Some bv; current = None; delta_pct = None; status = Removed })
+      b
+  in
+  let added =
+    List.filter_map
+      (fun (path, cv) ->
+        if ignored path || Hashtbl.mem b_paths path then None
+        else Some { path; baseline = None; current = Some cv; delta_pct = None; status = Added })
+      c
+  in
+  shared_and_removed @ added
+
+let regressed rows = List.filter (fun r -> r.status = Regressed) rows
+
+let status_name = function
+  | Ok_within -> "ok"
+  | Improved -> "improved"
+  | Regressed -> "REGRESSED"
+  | Added -> "new"
+  | Removed -> "missing"
+
+let render_table ?title rows =
+  let fmt_opt = function None -> "-" | Some v -> Printf.sprintf "%g" v in
+  let fmt_delta = function None -> "-" | Some d -> Printf.sprintf "%+.1f%%" d in
+  let deviating = List.filter (fun r -> r.status <> Ok_within) rows in
+  let n_ok = List.length rows - List.length deviating in
+  let body =
+    List.map
+      (fun r ->
+        [ r.path; fmt_opt r.baseline; fmt_opt r.current; fmt_delta r.delta_pct; status_name r.status ])
+      deviating
+  in
+  let table =
+    if body = [] then
+      (match title with None -> "" | Some t -> t ^ "\n") ^ "all metrics within tolerance\n"
+    else Table.render ?title ~header:[ "metric"; "baseline"; "current"; "delta"; "status" ] body
+  in
+  table
+  ^ Printf.sprintf "%d metric(s) compared: %d within tolerance, %d regressed, %d improved, %d new, %d missing\n"
+      (List.length rows) n_ok
+      (List.length (regressed rows))
+      (List.length (List.filter (fun r -> r.status = Improved) rows))
+      (List.length (List.filter (fun r -> r.status = Added) rows))
+      (List.length (List.filter (fun r -> r.status = Removed) rows))

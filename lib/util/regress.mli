@@ -1,0 +1,48 @@
+(** Benchmark-regression gate: structural diff of two machine-readable
+    benchmark documents ([BENCH_flow.json] / [BENCH_pattern.json])
+    with a relative noise tolerance.
+
+    Both documents are flattened to [path -> number] maps.  Array
+    elements are keyed by their identifying field ([name], [class],
+    [jobs] or [pattern]) when present — so reordering a dataset or
+    adding a job count does not shift every other metric — and by
+    index otherwise.  Each shared metric is then judged against the
+    tolerance in the direction its name implies: wall-clock paths
+    ([..._ms], [..._secs]) regress upward, throughput paths
+    ([..._per_s], [...speedup...]) regress downward, and anything else
+    (counters, instance counts) regresses on any deviation beyond the
+    tolerance.  Machine-dependent facts ([domains_available]) are
+    ignored. *)
+
+type status =
+  | Ok_within  (** within tolerance *)
+  | Improved  (** beyond tolerance, in the good direction *)
+  | Regressed  (** beyond tolerance, in the bad direction *)
+  | Added  (** present only in the current document *)
+  | Removed  (** present only in the baseline document *)
+
+type row = {
+  path : string;  (** dotted metric path, e.g. [datasets.Bitcoin.classes.C.solver_avg_ms.sparse] *)
+  baseline : float option;
+  current : float option;
+  delta_pct : float option;  (** [100 * (current - baseline) / |baseline|]; [None] unless both exist *)
+  status : status;
+}
+
+val flatten : Json.t -> (string * float) list
+(** Numeric leaves of a document with their dotted paths, in document
+    order.  Booleans, strings and nulls are skipped. *)
+
+val compare_docs : ?tolerance_pct:float -> baseline:Json.t -> current:Json.t -> unit -> row list
+(** One row per metric path in either document, baseline order first.
+    [tolerance_pct] defaults to 15. *)
+
+val regressed : row list -> row list
+(** The rows with [status = Regressed].  {!Added} / {!Removed} rows are
+    informational (renamed counters must not fail a soft gate). *)
+
+val status_name : status -> string
+
+val render_table : ?title:string -> row list -> string
+(** The per-metric comparison table ({!Table.render} layout), ready to
+    print; rows within tolerance are summarized, deviations listed. *)

@@ -105,7 +105,7 @@ let test_patterns_time_budget () =
 
 let test_metrics_and_trace () =
   (* --metrics prints the counter table to stderr; --trace writes a
-     Chrome-trace JSON array with at least one complete span. *)
+     Chrome-trace JSON object with at least one complete span. *)
   let trace = Filename.temp_file "tinflow_trace" ".json" in
   Fun.protect
     ~finally:(fun () -> if Sys.file_exists trace then Sys.remove trace)
@@ -118,7 +118,9 @@ let test_metrics_and_trace () =
       Alcotest.(check bool) "a counter is reported" true (contains out "pipeline.stage.");
       Alcotest.(check bool) "trace announced" true (contains out "trace written to");
       let json = In_channel.with_open_text trace In_channel.input_all in
-      Alcotest.(check bool) "JSON array" true (String.length json > 0 && json.[0] = '[');
+      Alcotest.(check bool) "JSON object format" true (String.length json > 0 && json.[0] = '{');
+      Alcotest.(check bool) "traceEvents array" true (contains json "\"traceEvents\"");
+      Alcotest.(check bool) "dropped_events field" true (contains json "\"dropped_events\"");
       Alcotest.(check bool) "complete events" true (contains json "\"ph\": \"X\"");
       Alcotest.(check bool) "thread metadata" true (contains json "thread_name");
       (* The same flags work on a pattern search and record spans from
@@ -185,6 +187,74 @@ let test_verify_single_network () =
   let out = check_ok "verify csv" (run_capture (Printf.sprintf "verify %s -s 0 -t 1" csv)) in
   Alcotest.(check bool) "all oracles agree" true (contains out "ok: all oracles agree")
 
+let test_log_json () =
+  let out =
+    check_ok "flow --log-json" (run_capture (Printf.sprintf "flow %s -s 0 -t 1 --log-json" csv))
+  in
+  Alcotest.(check bool) "run.start event" true (contains out "{\"event\":\"run.start\"");
+  Alcotest.(check bool) "run.end event" true (contains out "\"event\":\"run.end\"");
+  Alcotest.(check bool) "exit code recorded" true (contains out "\"exit_code\":0")
+
+let test_listen_announces_port () =
+  (* --listen 0 binds an ephemeral port, announces it, and shuts the
+     endpoint down cleanly when the run ends. *)
+  let out =
+    check_ok "verify --listen" (run_capture "verify --seed 7 --cases 5 --listen 0")
+  in
+  Alcotest.(check bool) "endpoint announced" true
+    (contains out "serving /metrics, /metrics.json and /healthz on port")
+
+let write_file path contents = Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc contents)
+
+let test_bench_check () =
+  let dir = Filename.temp_file "tinflow_bench" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let baseline = Filename.concat dir "baseline" in
+  let cur = Filename.concat dir "BENCH_t.json" in
+  Fun.protect
+    ~finally:(fun () ->
+      let rm_dir d =
+        if Sys.file_exists d then begin
+          Array.iter (fun n -> Sys.remove (Filename.concat d n)) (Sys.readdir d);
+          Sys.rmdir d
+        end
+      in
+      rm_dir baseline;
+      rm_dir dir)
+    (fun () ->
+      write_file cur {|{"wall_ms": 100.0, "iters": 10}|};
+      let args extra = Printf.sprintf "bench-check --baseline %s%s %s" baseline extra cur in
+      (* Missing baseline: informational, not a failure. *)
+      let out = check_ok "bench-check missing baseline" (run_capture (args "")) in
+      Alcotest.(check bool) "explains the fix" true (contains out "--update-baseline");
+      (* Record the baseline, then an identical run is clean. *)
+      let _ = check_ok "bench-check --update-baseline" (run_capture (args " --update-baseline")) in
+      Alcotest.(check bool) "baseline written" true
+        (Sys.file_exists (Filename.concat baseline "BENCH_t.json"));
+      let out = check_ok "bench-check clean" (run_capture (args "")) in
+      Alcotest.(check bool) "clean verdict" true (contains out "within tolerance");
+      (* A +100% wall-clock regression fails with a per-metric table. *)
+      write_file cur {|{"wall_ms": 200.0, "iters": 10}|};
+      let code, out = run_capture (args "") in
+      Alcotest.(check int) "regression exits 1" 1 code;
+      Alcotest.(check bool) "metric named" true (contains out "wall_ms");
+      Alcotest.(check bool) "status shown" true (contains out "REGRESSED");
+      (* An improvement beyond tolerance is not a failure. *)
+      write_file cur {|{"wall_ms": 50.0, "iters": 10}|};
+      let out = check_ok "bench-check improved" (run_capture (args "")) in
+      Alcotest.(check bool) "improvement flagged" true (contains out "improved");
+      (* A wider tolerance absorbs the deviation. *)
+      write_file cur {|{"wall_ms": 110.0, "iters": 10}|};
+      let _ = check_ok "bench-check tolerant" (run_capture (args " --tolerance 20")) in
+      (* Unparsable input and bad flags are usage errors, not crashes. *)
+      write_file cur "not json";
+      let code, _ = run_capture (args "") in
+      Alcotest.(check int) "bad JSON exits 2" 2 code;
+      write_file cur {|{"wall_ms": 100.0}|};
+      let code, _ = run_capture (args " --tolerance=-3") in
+      Alcotest.(check int) "negative tolerance exits 2" 2 code)
+
 let () =
   if not (Sys.file_exists exe) then begin
     print_endline "tinflow binary not found; skipping CLI integration tests";
@@ -216,5 +286,8 @@ let () =
               Alcotest.test_case "verify fuzz clean" `Quick test_verify_fuzz_clean;
               Alcotest.test_case "verify injected bug caught" `Quick test_verify_injected_caught;
               Alcotest.test_case "verify single network" `Quick test_verify_single_network;
+              Alcotest.test_case "log-json events" `Quick test_log_json;
+              Alcotest.test_case "listen announces port" `Quick test_listen_announces_port;
+              Alcotest.test_case "bench-check gate" `Quick test_bench_check;
             ] );
         ])

@@ -71,9 +71,33 @@ module Json = struct
             | 'b' -> Buffer.add_char b '\b'
             | 'f' -> Buffer.add_char b '\012'
             | 'u' ->
-                (* Raw escape is enough for schema checks. *)
+                (* Decode to UTF-8 so escaped names round-trip exactly
+                   (the exporters escape control characters as \u00XX). *)
                 if !pos + 4 >= n then fail "bad unicode escape";
-                Buffer.add_string b (String.sub s (!pos - 1) 6);
+                let hex c =
+                  match c with
+                  | '0' .. '9' -> Char.code c - Char.code '0'
+                  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+                  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+                  | _ -> fail "bad unicode escape"
+                in
+                let cp =
+                  (hex s.[!pos + 1] lsl 12)
+                  lor (hex s.[!pos + 2] lsl 8)
+                  lor (hex s.[!pos + 3] lsl 4)
+                  lor hex s.[!pos + 4]
+                in
+                if cp >= 0xD800 && cp <= 0xDFFF then fail "surrogate escape"
+                else if cp < 0x80 then Buffer.add_char b (Char.chr cp)
+                else if cp < 0x800 then begin
+                  Buffer.add_char b (Char.chr (0xC0 lor (cp lsr 6)));
+                  Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+                end
+                else begin
+                  Buffer.add_char b (Char.chr (0xE0 lor (cp lsr 12)));
+                  Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+                  Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+                end;
                 pos := !pos + 4
             | _ -> fail "bad escape");
             incr pos;
@@ -237,6 +261,86 @@ let prop_parallel_counter_exact =
              && Obs.Counter.value items = n
              && Obs.Counter.value weight = expected_weight)))
 
+let test_counter_negative_add () =
+  Obs.reset ();
+  let c = Obs.Counter.make "test.negative.counter" in
+  let expect_raise () =
+    Alcotest.check_raises "negative increment rejected"
+      (Invalid_argument "Obs.Counter.add: negative increment on a monotone counter") (fun () ->
+        Obs.Counter.add c (-1))
+  in
+  (* The monotonicity guard fires even while recording is disabled:
+     a call-site bug must not hide behind the off switch. *)
+  expect_raise ();
+  with_enabled (fun () ->
+      expect_raise ();
+      Obs.Counter.add c 0;
+      Alcotest.(check int) "zero is a no-op" 0 (Obs.Counter.value c))
+
+(* --- gauges -------------------------------------------------------- *)
+
+let test_gauge_basics () =
+  with_enabled (fun () ->
+      let g = Obs.Gauge.make "test.gauge.basics" in
+      Alcotest.(check bool) "unset reads NaN" true (Float.is_nan (Obs.Gauge.value g));
+      Obs.Gauge.set g 4.0;
+      Obs.Gauge.add g 1.5;
+      Alcotest.(check (float 1e-9)) "set then add" 5.5 (Obs.Gauge.value g);
+      Obs.Gauge.set g 2.0;
+      Alcotest.(check (float 1e-9)) "last write wins" 2.0 (Obs.Gauge.value g);
+      Alcotest.(check string) "name" "test.gauge.basics" (Obs.Gauge.name g);
+      Alcotest.(check bool) "listed" true (List.mem_assoc "test.gauge.basics" (Obs.gauges ()));
+      Obs.reset ();
+      Alcotest.(check bool) "reset unsets" true (Float.is_nan (Obs.Gauge.value g)))
+
+let test_gauge_last_write_wins_across_domains () =
+  with_enabled (fun () ->
+      let g = Obs.Gauge.make "test.gauge.domains" in
+      Obs.Gauge.set g 1.0;
+      (* Each write lands in the writing domain's own cell; the read
+         must still pick the chronologically freshest one. *)
+      Domain.join (Domain.spawn (fun () -> Obs.Gauge.set g 7.0));
+      Alcotest.(check (float 1e-9)) "another domain's later set wins" 7.0 (Obs.Gauge.value g);
+      Obs.Gauge.set g 3.0;
+      Alcotest.(check (float 1e-9)) "original domain reclaims" 3.0 (Obs.Gauge.value g))
+
+(* --- labeled families ---------------------------------------------- *)
+
+let test_labeled_families () =
+  with_enabled (fun () ->
+      let fam = Obs.Counter.make_labeled "test.fam.ops" ~labels:[ "solver" ] in
+      let a = Obs.Counter.labeled fam [ "a" ] in
+      let b = Obs.Counter.labeled fam [ "b" ] in
+      Obs.Counter.incr a;
+      Obs.Counter.add b 2;
+      Alcotest.(check string) "member name encodes labels" "test.fam.ops{solver=\"a\"}"
+        (Obs.Counter.name a);
+      Alcotest.(check int) "members are independent" 1 (Obs.Counter.value a);
+      Alcotest.(check int) "members are independent (b)" 2 (Obs.Counter.value b);
+      (* Same label values, same member. *)
+      Obs.Counter.incr (Obs.Counter.labeled fam [ "a" ]);
+      Alcotest.(check int) "shared identity" 2 (Obs.Counter.value a);
+      (* Re-registration with the same schema is fine ... *)
+      ignore (Obs.Counter.make_labeled "test.fam.ops" ~labels:[ "solver" ]);
+      (* ... with another schema or arity it is not. *)
+      Alcotest.check_raises "schema clash"
+        (Invalid_argument "Obs: family registered with different labels: test.fam.ops")
+        (fun () -> ignore (Obs.Counter.make_labeled "test.fam.ops" ~labels:[ "other" ]));
+      Alcotest.check_raises "arity mismatch"
+        (Invalid_argument "Obs: family test.fam.ops expects 1 label value(s), got 2") (fun () ->
+          ignore (Obs.Counter.labeled fam [ "a"; "b" ]));
+      Alcotest.check_raises "empty label schema"
+        (Invalid_argument "Obs: labeled family needs at least one label: test.fam.empty")
+        (fun () -> ignore (Obs.Counter.make_labeled "test.fam.empty" ~labels:[]));
+      (* A counter member with the same encoded name as an existing
+         gauge member is a kind clash, like unlabeled metrics. *)
+      let gfam = Obs.Gauge.make_labeled "test.fam.g" ~labels:[ "k" ] in
+      Obs.Gauge.set (Obs.Gauge.labeled gfam [ "x" ]) 1.0;
+      let cfam = Obs.Counter.make_labeled "test.fam.g" ~labels:[ "k" ] in
+      Alcotest.check_raises "kind clash on member"
+        (Invalid_argument "Obs: metric name registered with another kind: test.fam.g{k=\"x\"}")
+        (fun () -> ignore (Obs.Counter.labeled cfam [ "x" ])))
+
 (* --- spans --------------------------------------------------------- *)
 
 let test_spans_nest () =
@@ -281,7 +385,14 @@ let test_chrome_trace_schema () =
       record_sample_activity ();
       let json = Obs.chrome_trace_json () in
       let root = Json.parse json in
-      let events = match root with Json.Arr evs -> evs | _ -> Alcotest.fail "not an array" in
+      (* Object format: {"traceEvents": [...], "dropped_events": N}. *)
+      let events =
+        match Json.mem "traceEvents" root with
+        | Some (Json.Arr evs) -> evs
+        | _ -> Alcotest.fail "no traceEvents array"
+      in
+      Alcotest.(check (option (float 1e-9))) "dropped_events field" (Some 0.0)
+        (Option.bind (Json.mem "dropped_events" root) Json.num);
       Alcotest.(check bool) "nonempty" true (events <> []);
       let phases = Hashtbl.create 8 in
       List.iter
@@ -341,9 +452,9 @@ let test_write_chrome_trace_roundtrip () =
           let len = in_channel_length ic in
           let contents = really_input_string ic len in
           close_in ic;
-          match Json.parse contents with
-          | Json.Arr (_ :: _) -> ()
-          | _ -> Alcotest.fail "written trace is not a nonempty JSON array"))
+          match Json.mem "traceEvents" (Json.parse contents) with
+          | Some (Json.Arr (_ :: _)) -> ()
+          | _ -> Alcotest.fail "written trace has no nonempty traceEvents array"))
 
 let test_metrics_json_schema () =
   with_enabled (fun () ->
@@ -362,6 +473,315 @@ let test_metrics_json_schema () =
       Alcotest.(check bool) "dropped_events present" true
         (Json.mem "dropped_events" root <> None))
 
+(* --- Prometheus exposition ----------------------------------------- *)
+
+let is_name_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+let is_name_char c = is_name_start c || (c >= '0' && c <= '9')
+
+(* Validate one sample line: name ( '{' k="escaped" (,..)* '}' )? ' ' float *)
+let check_sample_line line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let fail msg = Alcotest.failf "%s in sample line %S" msg line in
+  if n = 0 || not (is_name_start line.[0]) then fail "bad name start";
+  while !pos < n && is_name_char line.[!pos] do
+    incr pos
+  done;
+  if !pos < n && line.[!pos] = '{' then begin
+    incr pos;
+    let rec pair () =
+      let k0 = !pos in
+      if !pos >= n || not (is_name_start line.[!pos]) then fail "bad label name";
+      while !pos < n && is_name_char line.[!pos] do
+        incr pos
+      done;
+      if !pos = k0 then fail "empty label name";
+      if !pos + 1 >= n || line.[!pos] <> '=' || line.[!pos + 1] <> '"' then
+        fail "label not k=\"v\"";
+      pos := !pos + 2;
+      let rec scan_value () =
+        if !pos >= n then fail "unterminated label value"
+        else
+          match line.[!pos] with
+          | '"' -> incr pos
+          | '\\' ->
+              if !pos + 1 >= n then fail "dangling backslash";
+              (match line.[!pos + 1] with
+              | '\\' | '"' | 'n' -> ()
+              | _ -> fail "invalid escape in label value");
+              pos := !pos + 2;
+              scan_value ()
+          | '\n' -> fail "raw newline in label value"
+          | _ ->
+              incr pos;
+              scan_value ()
+      in
+      scan_value ();
+      if !pos < n && line.[!pos] = ',' then begin
+        incr pos;
+        pair ()
+      end
+      else if !pos < n && line.[!pos] = '}' then incr pos
+      else fail "expected ',' or '}'"
+    in
+    pair ()
+  end;
+  if !pos >= n || line.[!pos] <> ' ' then fail "expected single space before value";
+  let value = String.sub line (!pos + 1) (n - !pos - 1) in
+  match value with
+  | "NaN" | "+Inf" | "-Inf" -> ()
+  | v -> if float_of_string_opt v = None then fail "unparsable value"
+
+let test_prometheus_conformance () =
+  with_enabled (fun () ->
+      let fam = Obs.Counter.make_labeled "conformance_total" ~labels:[ "kind" ] in
+      Obs.Counter.add (Obs.Counter.labeled fam [ "weird \"quoted\"\\\n" ]) 3;
+      let g = Obs.Gauge.make "conformance.gauge" in
+      Obs.Gauge.set g 1.5;
+      let h = Obs.Histogram.make "conformance_hist" in
+      Obs.Histogram.observe h 2.5;
+      let text = Obs.prometheus_text () in
+      Alcotest.(check bool) "ends with newline" true
+        (String.length text > 0 && text.[String.length text - 1] = '\n');
+      let lines = String.split_on_char '\n' text |> List.filter (fun l -> l <> "") in
+      let typed = Hashtbl.create 32 in
+      List.iter
+        (fun line ->
+          if String.starts_with ~prefix:"# TYPE " line then begin
+            (match String.split_on_char ' ' line with
+            | [ "#"; "TYPE"; name; ("counter" | "gauge" | "histogram" | "untyped") ] ->
+                if Hashtbl.mem typed name then
+                  Alcotest.failf "duplicate # TYPE for %s" name
+                else Hashtbl.replace typed name ()
+            | _ -> Alcotest.failf "malformed TYPE line %S" line)
+          end
+          else if String.starts_with ~prefix:"# HELP " line then begin
+            match String.split_on_char ' ' line with
+            | "#" :: "HELP" :: name :: _ when name <> "" -> ()
+            | _ -> Alcotest.failf "malformed HELP line %S" line
+          end
+          else if String.starts_with ~prefix:"#" line then
+            Alcotest.failf "unexpected comment %S" line
+          else begin
+            check_sample_line line;
+            (* Every sample sits under a # TYPE block for its name. *)
+            let stop =
+              match String.index_opt line '{' with
+              | Some i -> i
+              | None -> ( match String.index_opt line ' ' with Some i -> i | None -> 0)
+            in
+            let name = String.sub line 0 stop in
+            if not (Hashtbl.mem typed name) then
+              Alcotest.failf "sample %S precedes its # TYPE" line
+          end)
+        lines;
+      let has l = List.mem l lines in
+      Alcotest.(check bool) "dotted gauge name sanitized" true (has "conformance_gauge 1.5");
+      Alcotest.(check bool) "label value escaped" true
+        (has "conformance_total{kind=\"weird \\\"quoted\\\"\\\\\\n\"} 3");
+      Alcotest.(check bool) "histogram count exported" true (has "conformance_hist_count 1");
+      Alcotest.(check bool) "histogram sum exported" true (has "conformance_hist_sum 2.5");
+      Alcotest.(check bool) "span-loss counter always present" true
+        (has "obs_dropped_span_events 0"))
+
+(* --- runtime telemetry --------------------------------------------- *)
+
+let test_runtime_sample () =
+  with_enabled (fun () ->
+      Obs.Runtime.sample ();
+      let gs = Obs.gauges () in
+      let present n = List.mem_assoc n gs in
+      List.iter
+        (fun n -> Alcotest.(check bool) n true (present n))
+        [
+          "runtime_gc_minor_collections";
+          "runtime_gc_major_collections";
+          "runtime_gc_heap_words";
+          "runtime_gc_minor_words";
+          "runtime_obs_domains";
+        ];
+      if Sys.file_exists "/proc/self/statm" then begin
+        Alcotest.(check bool) "rss pages" true (present "runtime_rss_pages");
+        Alcotest.(check bool) "rss bytes" true (present "runtime_rss_bytes");
+        Alcotest.(check bool) "rss positive" true (List.assoc "runtime_rss_pages" gs > 0.0)
+      end;
+      Alcotest.(check bool) "heap words positive" true
+        (List.assoc "runtime_gc_heap_words" gs > 0.0))
+
+let test_runtime_sampler_thread () =
+  with_enabled (fun () ->
+      Alcotest.(check bool) "not running before start" false (Obs.Runtime.running ());
+      Obs.Runtime.start ~period_ms:10 ();
+      Alcotest.(check bool) "running" true (Obs.Runtime.running ());
+      (* Idempotent start is a no-op. *)
+      Obs.Runtime.start ~period_ms:10 ();
+      Unix.sleepf 0.05;
+      Obs.Runtime.stop ();
+      Alcotest.(check bool) "stopped" false (Obs.Runtime.running ());
+      Obs.Runtime.stop ();
+      Alcotest.(check bool) "gauges published" true
+        (List.mem_assoc "runtime_gc_heap_words" (Obs.gauges ())))
+
+(* --- scrape endpoint ----------------------------------------------- *)
+
+let http_get ~port path =
+  let sock = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let req =
+        Printf.sprintf "GET %s HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n" path
+      in
+      let payload = Bytes.of_string req in
+      let off = ref 0 in
+      while !off < Bytes.length payload do
+        off := !off + Unix.write sock payload !off (Bytes.length payload - !off)
+      done;
+      let buf = Bytes.create 4096 in
+      let acc = Buffer.create 1024 in
+      let rec drain () =
+        let got = Unix.read sock buf 0 (Bytes.length buf) in
+        if got > 0 then begin
+          Buffer.add_subbytes acc buf 0 got;
+          drain ()
+        end
+      in
+      drain ();
+      Buffer.contents acc)
+
+(* The value of [name] in a Prometheus exposition body, if present. *)
+let scrape_value body name =
+  let needle = "\n" ^ name ^ " " in
+  let rec find from =
+    match String.index_from_opt body from '\n' with
+    | None -> None
+    | Some i ->
+        if
+          i + String.length needle <= String.length body
+          && String.sub body i (String.length needle) = needle
+        then begin
+          let start = i + String.length needle in
+          let stop =
+            match String.index_from_opt body start '\n' with
+            | Some j -> j
+            | None -> String.length body
+          in
+          float_of_string_opt (String.trim (String.sub body start (stop - start)))
+        end
+        else find (i + 1)
+  in
+  find 0
+
+let test_scrape_endpoint () =
+  with_enabled (fun () ->
+      let srv = Tin_obs.Serve.start ~addr:"127.0.0.1" ~port:0 () in
+      Fun.protect
+        ~finally:(fun () -> Tin_obs.Serve.stop srv)
+        (fun () ->
+          let port = Tin_obs.Serve.port srv in
+          let c = Obs.Counter.make "test.scrape.static" in
+          Obs.Counter.add c 42;
+          let health = http_get ~port "/healthz" in
+          Alcotest.(check bool) "healthz 200" true
+            (String.starts_with ~prefix:"HTTP/1.1 200" health);
+          let metrics = http_get ~port "/metrics" in
+          Alcotest.(check bool) "metrics 200" true
+            (String.starts_with ~prefix:"HTTP/1.1 200" metrics);
+          Alcotest.(check bool) "content type" true
+            (let ct = "Content-Type: text/plain; version=0.0.4" in
+             let rec mem i =
+               i + String.length ct <= String.length metrics
+               && (String.sub metrics i (String.length ct) = ct || mem (i + 1))
+             in
+             mem 0);
+          Alcotest.(check (option (float 1e-9))) "counter visible in scrape" (Some 42.0)
+            (scrape_value metrics "test_scrape_static");
+          let json = http_get ~port "/metrics.json" in
+          let body =
+            match String.index_opt json '{' with
+            | Some i -> String.sub json i (String.length json - i)
+            | None -> Alcotest.fail "no JSON body"
+          in
+          (match Json.parse body with
+          | Json.Obj _ -> ()
+          | _ -> Alcotest.fail "metrics.json body is not an object");
+          let missing = http_get ~port "/nope" in
+          Alcotest.(check bool) "404 for unknown path" true
+            (String.starts_with ~prefix:"HTTP/1.1 404" missing)))
+
+let test_scrape_concurrent_with_map_reduce () =
+  with_enabled (fun () ->
+      let srv = Tin_obs.Serve.start ~addr:"127.0.0.1" ~port:0 () in
+      Fun.protect
+        ~finally:(fun () -> Tin_obs.Serve.stop srv)
+        (fun () ->
+          let port = Tin_obs.Serve.port srv in
+          let c = Obs.Counter.make "test.scrape.ticks" in
+          let stop = Atomic.make false in
+          let scraper =
+            Domain.spawn (fun () ->
+                let acc = ref [] in
+                while not (Atomic.get stop) do
+                  match scrape_value (http_get ~port "/metrics") "test_scrape_ticks" with
+                  | Some v -> acc := v :: !acc
+                  | None -> ()
+                done;
+                List.rev !acc)
+          in
+          let n = 60_000 in
+          let total =
+            Tin_core.Batch.map_reduce ~jobs:4 ~chunk:16 ~n
+              ~init:(fun () -> ref 0)
+              ~body:(fun acc _ ->
+                Obs.Counter.incr c;
+                incr acc)
+              ~merge:(fun a b -> ref (!a + !b))
+              ()
+          in
+          (* One guaranteed post-workload scrape before stopping, so
+             the monotone sequence is nonempty and ends at the total. *)
+          let final = scrape_value (http_get ~port "/metrics") "test_scrape_ticks" in
+          Atomic.set stop true;
+          let reads = Domain.join scraper @ Option.to_list final in
+          Alcotest.(check int) "workload exact" n !total;
+          Alcotest.(check int) "counter exact after workload" n (Obs.Counter.value c);
+          Alcotest.(check (option (float 1e-9))) "final scrape sees the total" (Some (float_of_int n))
+            final;
+          Alcotest.(check bool) "scraped at least twice" true (List.length reads >= 2);
+          let monotone =
+            let rec go = function
+              | a :: (b :: _ as rest) -> a <= b && go rest
+              | _ -> true
+            in
+            go reads
+          in
+          Alcotest.(check bool) "counter reads are monotone" true monotone;
+          Alcotest.(check bool) "reads bounded by the total" true
+            (List.for_all (fun v -> v >= 0.0 && v <= float_of_int n) reads)))
+
+(* --- exporter escaping round-trip ---------------------------------- *)
+
+(* Arbitrary printable metric names (quotes, backslashes, newlines,
+   tabs ...) must survive the trip through [metrics_json] and this
+   file's independent JSON reader byte-for-byte. *)
+let prop_metrics_json_roundtrip =
+  let printable =
+    QCheck.Gen.(
+      string_size ~gen:(map Char.chr (oneof [ int_range 32 126; return 9; return 10 ])) (int_range 1 24))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:100 ~name:"metrics_json round-trips arbitrary printable names"
+       (QCheck.make ~print:String.escaped printable)
+       (fun raw ->
+         let name = "prop.rt." ^ raw in
+         with_enabled (fun () ->
+             let c = Obs.Counter.make name in
+             Obs.Counter.add c 7;
+             let root = Json.parse (Obs.metrics_json ()) in
+             Option.bind (Option.bind (Json.mem "counters" root) (Json.mem name)) Json.num
+             = Some 7.0)))
+
 let () =
   Alcotest.run "obs"
     [
@@ -370,17 +790,39 @@ let () =
           Alcotest.test_case "disabled path is invisible" `Quick test_disabled_is_invisible;
           Alcotest.test_case "basics" `Quick test_counter_basics;
           Alcotest.test_case "histogram summary" `Quick test_histogram_summary;
+          Alcotest.test_case "negative add rejected" `Quick test_counter_negative_add;
           prop_parallel_counter_exact;
         ] );
+      ( "gauges",
+        [
+          Alcotest.test_case "basics" `Quick test_gauge_basics;
+          Alcotest.test_case "last write wins across domains" `Quick
+            test_gauge_last_write_wins_across_domains;
+        ] );
+      ( "families",
+        [ Alcotest.test_case "labeled metric families" `Quick test_labeled_families ] );
       ( "spans",
         [
           Alcotest.test_case "nesting" `Quick test_spans_nest;
           Alcotest.test_case "recorded on exception" `Quick test_span_records_on_exception;
+        ] );
+      ( "runtime",
+        [
+          Alcotest.test_case "one-shot sample" `Quick test_runtime_sample;
+          Alcotest.test_case "sampler thread" `Quick test_runtime_sampler_thread;
+        ] );
+      ( "serve",
+        [
+          Alcotest.test_case "scrape endpoint" `Quick test_scrape_endpoint;
+          Alcotest.test_case "concurrent scrape during map_reduce" `Quick
+            test_scrape_concurrent_with_map_reduce;
         ] );
       ( "export",
         [
           Alcotest.test_case "chrome trace schema" `Quick test_chrome_trace_schema;
           Alcotest.test_case "write roundtrip" `Quick test_write_chrome_trace_roundtrip;
           Alcotest.test_case "metrics json schema" `Quick test_metrics_json_schema;
+          Alcotest.test_case "prometheus conformance" `Quick test_prometheus_conformance;
+          prop_metrics_json_roundtrip;
         ] );
     ]

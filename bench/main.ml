@@ -8,12 +8,14 @@
    --json sets the output path of the solver benchmark's
    machine-readable results (default: BENCH_flow.json);
    --pattern-json does the same for the pattern-search jobs sweep
-   (default: BENCH_pattern.json, written by the patterns target). *)
+   (default: BENCH_pattern.json, written by the patterns target);
+   --load-json for the CSV-vs-snapshot load benchmark (default:
+   BENCH_load.json, written by the load target). *)
 
 let known_targets =
   [
     "table4"; "table5"; "table6"; "table7"; "table8"; "figure11"; "table9"; "table10"; "table11";
-    "flows"; "patterns"; "micro"; "ablation"; "sweep"; "solvers"; "obs"; "all";
+    "flows"; "patterns"; "micro"; "ablation"; "sweep"; "solvers"; "obs"; "load"; "all";
   ]
 
 let usage () =
@@ -26,6 +28,7 @@ let () =
   let quick = List.mem "--quick" args in
   let json = ref "BENCH_flow.json" in
   let pattern_json = ref "BENCH_pattern.json" in
+  let load_json = ref "BENCH_load.json" in
   let rec strip = function
     | "--json" :: path :: rest ->
         json := path;
@@ -33,7 +36,10 @@ let () =
     | "--pattern-json" :: path :: rest ->
         pattern_json := path;
         strip rest
-    | [ "--json" ] | [ "--pattern-json" ] -> usage ()
+    | "--load-json" :: path :: rest ->
+        load_json := path;
+        strip rest
+    | [ "--json" ] | [ "--pattern-json" ] | [ "--load-json" ] -> usage ()
     | a :: rest -> a :: strip rest
     | [] -> []
   in
@@ -113,6 +119,10 @@ let () =
   end;
   if wants "obs" then begin
     Obs_bench.run datasets;
+    print_newline ()
+  end;
+  if wants "load" then begin
+    Load_bench.run ~json:!load_json ~scale_name:(if quick then "quick" else "full") datasets;
     print_newline ()
   end;
   if wants "micro" || List.mem "all" targets then Micro.run datasets;

@@ -70,7 +70,12 @@ let class_summaries measured =
 (* Batch throughput                                                    *)
 (* ------------------------------------------------------------------ *)
 
-type batch_run = { jobs : int; wall_ms : float; problems_per_s : float }
+type batch_run = {
+  jobs : int;
+  timing : (float * float, string) result;
+      (* [Ok (wall_ms, problems_per_s)], or [Error reason] when the
+         measurement would be meaningless on this machine. *)
+}
 
 let job_counts () =
   (* Always include a multi-domain point (jobs = 2) so the parallel
@@ -87,6 +92,7 @@ let measure_batch problems =
       problems
   in
   let n = List.length batch_problems in
+  let single_domain = Batch.recommended_jobs () = 1 in
   let baseline = ref [] in
   List.map
     (fun jobs ->
@@ -100,7 +106,19 @@ let measure_batch problems =
             if not (Fcmp.approx_eq ~eps:1e-6 a b) then
               failwith (Printf.sprintf "batch value drift at jobs=%d: %g vs %g" jobs a b))
           !baseline values;
-      { jobs; wall_ms; problems_per_s = (if wall_ms > 0.0 then float_of_int n /. (wall_ms /. 1000.0) else 0.0) })
+      (* On a single-domain machine jobs > 1 only time-slices one core,
+         so a "parallel" wall time is pure scheduling noise — worse, it
+         poisons the committed baseline with jobs=2 slower than jobs=1.
+         The run above still exercises the multi-domain code path and
+         the value-drift guard; only the numbers are refused. *)
+      let timing =
+        if jobs > 1 && single_domain then Error "single_domain"
+        else
+          Ok
+            ( wall_ms,
+              if wall_ms > 0.0 then float_of_int n /. (wall_ms /. 1000.0) else 0.0 )
+      in
+      { jobs; timing })
     (job_counts ())
 
 (* ------------------------------------------------------------------ *)
@@ -183,10 +201,15 @@ let write_json path ~scale_name results =
       add "      \"batch_lp\": [\n";
       List.iteri
         (fun j br ->
-          add
-            "        { \"jobs\": %d, \"wall_ms\": %s, \"problems_per_s\": %s }%s\n"
-            br.jobs (json_float br.wall_ms) (json_float br.problems_per_s)
-            (if j < List.length r.batch - 1 then "," else ""))
+          (match br.timing with
+          | Ok (wall_ms, problems_per_s) ->
+              add "        { \"jobs\": %d, \"wall_ms\": %s, \"problems_per_s\": %s }%s\n" br.jobs
+                (json_float wall_ms) (json_float problems_per_s)
+                (if j < List.length r.batch - 1 then "," else "")
+          | Error reason ->
+              add "        { \"jobs\": %d, \"skipped\": \"%s\" }%s\n" br.jobs
+                (json_escape reason)
+                (if j < List.length r.batch - 1 then "," else "")))
         r.batch;
       add "      ],\n";
       add "      \"obs\": { %s }\n"
@@ -222,7 +245,10 @@ let batch_table name runs =
     ~header:[ "jobs"; "wall"; "problems/s" ]
     (List.map
        (fun r ->
-         [ string_of_int r.jobs; Table.fmt_ms r.wall_ms; Printf.sprintf "%.1f" r.problems_per_s ])
+         match r.timing with
+         | Ok (wall_ms, problems_per_s) ->
+             [ string_of_int r.jobs; Table.fmt_ms wall_ms; Printf.sprintf "%.1f" problems_per_s ]
+         | Error _ -> [ string_of_int r.jobs; "skipped"; "(single domain)" ])
        runs)
 
 let run ?(json = "BENCH_flow.json") ~scale_name datasets =

@@ -6,8 +6,11 @@
      patterns  enumerate flow patterns on a CSV network
      verify      differential correctness check / fuzzer
      generate    write a synthetic dataset to CSV
+     convert     CSV <-> binary snapshot (.tinb)
      bench-check diff benchmark JSON against the committed baseline
-     dot         render a CSV network to GraphViz *)
+     dot         render a CSV network to GraphViz
+
+   Every subcommand that reads a network auto-detects CSV vs .tinb. *)
 
 open Cmdliner
 module Pipeline = Tin_core.Pipeline
@@ -20,8 +23,8 @@ let setup_logs () =
   Logs.set_reporter (Logs.format_reporter ());
   Logs.set_level (Some Logs.Warning)
 
-(* CSV loads report malformed input as a diagnostic and a nonzero exit,
-   never a backtrace. *)
+(* Network loads report malformed input (CSV or snapshot) as a
+   diagnostic and a nonzero exit, never a backtrace. *)
 
 let or_parse_error f =
   match f () with
@@ -33,8 +36,10 @@ let or_parse_error f =
       prerr_endline ("tinflow: " ^ msg);
       exit 1
 
-let load_csv file = or_parse_error (fun () -> Io.load_csv file)
-let load_csv_graph file = or_parse_error (fun () -> Io.load_csv_graph file)
+(* Auto-detecting: .tinb snapshots and CSV are both accepted everywhere
+   a network is read. *)
+let load_net file = or_parse_error (fun () -> Io.load file)
+let load_graph file = or_parse_error (fun () -> Io.load_graph file)
 
 (* --- structured event log (--log-json) --- *)
 
@@ -236,7 +241,13 @@ let solver_arg =
            picks the sparse revised simplex on large sparse instances).")
 
 let file_arg =
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"NETWORK.csv" ~doc:"Interaction network (src,dst,time,qty lines).")
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"NETWORK"
+        ~doc:
+          "Interaction network: CSV (src,dst,time,qty lines) or binary snapshot (.tinb, see \
+           $(b,tinflow convert)); the format is auto-detected from the file contents.")
 
 let flow_cmd =
   let source =
@@ -254,7 +265,7 @@ let flow_cmd =
   let run file source sink split meth solver obs =
     setup_logs ();
     with_obs obs @@ fun () ->
-    let g = load_csv_graph file in
+    let g = load_graph file in
     match
       match split with
       | Some v ->
@@ -328,7 +339,7 @@ let batch_cmd =
       prerr_endline "tinflow: --jobs must be positive";
       exit 2
     end;
-    let net = load_csv file in
+    let net = load_net file in
     let problems =
       Tin_datasets.Extract.extract ~max_interactions ~max_subgraphs net
       |> List.map (fun (p : Tin_datasets.Extract.problem) ->
@@ -384,7 +395,7 @@ let paths_cmd =
   let run file source sink top obs =
     setup_logs ();
     with_obs obs @@ fun () ->
-    let g = load_csv_graph file in
+    let g = load_graph file in
     let value, routes = Tin_core.Decompose.max_flow_paths g ~source ~sink in
     Printf.printf "maximum flow: %g across %d temporal routes\n" value (List.length routes);
     List.sort
@@ -415,7 +426,7 @@ let profile_cmd =
   let run file source sink greedy obs =
     setup_logs ();
     with_obs obs @@ fun () ->
-    let g = load_csv_graph file in
+    let g = load_graph file in
     let profile =
       if greedy then Tin_core.Window.greedy_profile g ~source ~sink
       else Tin_core.Window.max_flow_profile g ~source ~sink
@@ -473,7 +484,7 @@ let patterns_cmd =
         exit 2
     | _ -> ());
     let jobs = Option.value jobs ~default:1 in
-    let net = load_csv file in
+    let net = load_net file in
     let which = if which = [] && custom = [] then Catalog.all else which in
     let tables =
       if use_pb || hybrid then Some (Catalog.precompute ~jobs ~with_chains:true net) else None
@@ -580,7 +591,7 @@ let verify_cmd =
     Option.iter (fun dir -> if not (Sys.file_exists dir) then Sys.mkdir dir 0o755) dump;
     match network with
     | Some file -> (
-        let g = load_csv_graph file in
+        let g = load_graph file in
         match
           match (source, sink) with
           | Some s, Some t -> Ok (g, s, t)
@@ -673,6 +684,60 @@ let generate_cmd =
   Cmd.v
     (Cmd.info "generate" ~doc:"Generate a synthetic interaction network CSV")
     Term.(const run $ out $ dataset $ seed $ factor $ obs_term)
+
+(* --- convert --- *)
+
+let convert_cmd =
+  let input =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"IN" ~doc:"Input network (CSV or .tinb snapshot, auto-detected).")
+  in
+  let output =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"OUT"
+          ~doc:
+            "Output file; its extension picks the format: $(b,.tinb) writes the checksummed \
+             binary snapshot, $(b,.csv) writes text.")
+  in
+  let run input output obs =
+    setup_logs ();
+    with_obs obs @@ fun () ->
+    or_parse_error @@ fun () ->
+    let c = Io.load_compact input in
+    let summary fmt =
+      Printf.printf "wrote %s: %d vertices, %d edges, %d interactions%s\n" output
+        (Compact.n_vertices c) (Compact.n_edges c) (Compact.n_interactions c) fmt
+    in
+    match String.lowercase_ascii (Filename.extension output) with
+    | ".tinb" ->
+        Snapshot.save output c;
+        summary (Printf.sprintf " (snapshot v%d)" Snapshot.version);
+        0
+    | ".csv" -> (
+        match Compact.to_graph c with
+        | g ->
+            Io.save_csv output g;
+            summary "";
+            0
+        | exception Invalid_argument _ ->
+            prerr_endline
+              "tinflow: cannot write CSV: the snapshot contains self-loop interactions";
+            1)
+    | ext ->
+        Printf.eprintf "tinflow: unknown output format %S (expected .tinb or .csv)\n" ext;
+        2
+  in
+  Cmd.v
+    (Cmd.info "convert"
+       ~doc:
+         "Convert an interaction network between CSV and the versioned binary snapshot format \
+          (.tinb): one sorted load, then a checksummed dump that reloads without re-parsing or \
+          re-sorting")
+    Term.(const run $ input $ output $ obs_term)
 
 (* --- bench-check --- *)
 
@@ -812,7 +877,7 @@ let dot_cmd =
   let run file source sink obs =
     setup_logs ();
     with_obs obs @@ fun () ->
-    let g = load_csv_graph file in
+    let g = load_graph file in
     print_string (Io.to_dot ?source ?sink g);
     0
   in
@@ -836,6 +901,7 @@ let () =
             patterns_cmd;
             verify_cmd;
             generate_cmd;
+            convert_cmd;
             bench_check_cmd;
             dot_cmd;
           ]))

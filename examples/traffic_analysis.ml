@@ -91,7 +91,7 @@ let () =
           List.fold_left
             (fun g b ->
               Graph.add_edge g ~src:super ~dst:b
-                [ Interaction.make ~time:neg_infinity ~qty:infinity ])
+                [ Interaction.unchecked ~time:neg_infinity ~qty:infinity ])
             g bots_labels
         in
         let g = Topo.dagify g ~root:super in

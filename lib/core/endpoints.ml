@@ -16,7 +16,7 @@ let add_synthetic g =
         ( List.fold_left
             (fun g v ->
               Graph.add_edge g ~src:s ~dst:v
-                [ Interaction.make ~time:neg_infinity ~qty:infinity ])
+                [ Interaction.unchecked ~time:neg_infinity ~qty:infinity ])
             g sources,
           s )
   in
@@ -27,7 +27,7 @@ let add_synthetic g =
         let t = fresh_id g in
         ( List.fold_left
             (fun g v ->
-              Graph.add_edge g ~src:v ~dst:t [ Interaction.make ~time:infinity ~qty:infinity ])
+              Graph.add_edge g ~src:v ~dst:t [ Interaction.unchecked ~time:infinity ~qty:infinity ])
             g sinks,
           t )
   in

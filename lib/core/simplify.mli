@@ -30,3 +30,13 @@ val reduce_chain_interactions :
     [(s, v1)], [e2] on [(v1, v2)], …) into the interaction sequence of
     the replacement edge.  Exposed for the pattern path tables, which
     extend precomputed paths one edge at a time (Section 5.1). *)
+
+val reduce_chain_cols :
+  k:int -> times:floatarray -> qtys:floatarray -> pos:int array -> Interaction.t list
+(** Flat twin of {!reduce_chain_interactions} for pre-gathered columns:
+    interaction [j] has timestamp [times.(j)], quantity [qtys.(j)] and
+    sits on chain edge [pos.(j) → pos.(j) + 1] of a [k]-edge chain
+    ([0 ≤ pos.(j) < k]; any order; the three arrays must have equal
+    length).  Produces the identical arrival sequence without building
+    a graph or boxing interactions — the pattern-table candidate scan
+    ({!Tin_patterns.Tables}) calls this once per candidate. *)

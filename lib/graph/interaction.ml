@@ -2,8 +2,17 @@ type t = { time : float; qty : float }
 
 let make ~time ~qty =
   if Float.is_nan time then invalid_arg "Interaction.make: NaN time";
+  if not (Float.is_finite time) then invalid_arg "Interaction.make: infinite time";
+  if time < 0.0 then invalid_arg "Interaction.make: negative time";
   if Float.is_nan qty then invalid_arg "Interaction.make: NaN quantity";
+  if not (Float.is_finite qty) then invalid_arg "Interaction.make: infinite quantity";
   if qty < 0.0 then invalid_arg "Interaction.make: negative quantity";
+  { time; qty }
+
+let unchecked ~time ~qty =
+  if Float.is_nan time then invalid_arg "Interaction.unchecked: NaN time";
+  if Float.is_nan qty then invalid_arg "Interaction.unchecked: NaN quantity";
+  if qty < 0.0 then invalid_arg "Interaction.unchecked: negative quantity";
   { time; qty }
 
 let time i = i.time

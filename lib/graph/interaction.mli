@@ -6,14 +6,27 @@
     vertex [u]. *)
 
 type t = private { time : float; qty : float }
-(** Timestamps are arbitrary reals (the real datasets use epoch
-    seconds); quantities are non-negative reals.  [qty] may be
-    [infinity] — synthetic source/sink edges use infinite quantity
+(** Timestamps are finite non-negative reals (the real datasets use
+    epoch seconds); quantities are non-negative reals.  [qty] (and
+    [time]) may be infinite only on interactions built with
+    {!unchecked} — synthetic source/sink edges use infinite quantity
     (Section 4 of the paper). *)
 
 val make : time:float -> qty:float -> t
-(** [make ~time ~qty] validates and builds an interaction.
-    @raise Invalid_argument if [time] is NaN, or [qty] is NaN or
+(** [make ~time ~qty] validates and builds a data interaction, with
+    exactly the domain the CSV loader ({!Io.load_csv}) accepts: both
+    fields finite and non-negative.
+    @raise Invalid_argument if [time] is NaN, infinite or negative, or
+    [qty] is NaN, infinite or negative. *)
+
+val unchecked : time:float -> qty:float -> t
+(** [unchecked ~time ~qty] builds a synthetic interaction: [time] may
+    be any non-NaN real (including [±infinity]) and [qty] any
+    non-negative value (including [infinity]).  Used for the
+    super-source/super-sink edges of {!Endpoints} and for greedy
+    arrival sequences, which legitimately carry infinite quantity —
+    never for data read from disk.
+    @raise Invalid_argument if either field is NaN or [qty] is
     negative. *)
 
 val time : t -> float

@@ -3,9 +3,11 @@ type error = { file : string; line : int; column : int; message : string }
 exception Parse_error of error
 
 let error_to_string e =
-  Printf.sprintf "%s:%d:%d: %s"
-    (if e.file = "" then "<channel>" else e.file)
-    e.line e.column e.message
+  let file = if e.file = "" then "<channel>" else e.file in
+  (* Binary-snapshot errors have no line/column structure; they carry
+     [line = 0] and render without the GNU position suffix. *)
+  if e.line = 0 then Printf.sprintf "%s: %s" file e.message
+  else Printf.sprintf "%s:%d:%d: %s" file e.line e.column e.message
 
 let pp_error ppf e = Format.pp_print_string ppf (error_to_string e)
 
@@ -120,6 +122,49 @@ let raise_on_error = function Ok x -> x | Error e -> raise (Parse_error e)
 
 let load_csv path = raise_on_error (load_csv_result path)
 let load_csv_graph path = raise_on_error (load_csv_graph_result path)
+
+(* --- format-agnostic loaders ---------------------------------------
+
+   A file starting with the snapshot magic is a binary [.tinb]
+   snapshot; anything else takes the CSV path unchanged.  Snapshot
+   failures are surfaced through the same [error] type (line 0 = no
+   textual position). *)
+
+let snapshot_error (e : Snapshot.error) =
+  { file = e.Snapshot.file; line = 0; column = 0; message = e.Snapshot.message }
+
+let structure_error path message = { file = path; line = 0; column = 0; message }
+
+let load_compact_result path =
+  if Snapshot.sniff path then
+    Result.map_error snapshot_error (Snapshot.load_result path)
+  else
+    In_channel.with_open_text path (fun ic ->
+        Result.map Compact.of_entries (parse_channel ~file:path ic))
+
+let load_result path =
+  if Snapshot.sniff path then
+    match Snapshot.load_result path with
+    | Error e -> Error (snapshot_error e)
+    | Ok c -> (
+        try Ok (Static.of_compact c)
+        with Invalid_argument _ ->
+          Error (structure_error path "snapshot contains self-loop interactions"))
+  else load_csv_result path
+
+let load_graph_result path =
+  if Snapshot.sniff path then
+    match Snapshot.load_result path with
+    | Error e -> Error (snapshot_error e)
+    | Ok c -> (
+        try Ok (Compact.to_graph c)
+        with Invalid_argument _ ->
+          Error (structure_error path "snapshot contains self-loop interactions"))
+  else load_csv_graph_result path
+
+let load path = raise_on_error (load_result path)
+let load_graph path = raise_on_error (load_graph_result path)
+let load_compact path = raise_on_error (load_compact_result path)
 
 let save_csv path g =
   Out_channel.with_open_text path (fun oc ->

@@ -1,20 +1,29 @@
 (** Loading and saving interaction networks.
 
-    The on-disk format is the four-column CSV used by the paper's
-    artifact: [src,dst,time,qty], one interaction per line.  Lines that
-    are empty or start with ['#'] are ignored.  An optional header line
-    [src,dst,time,qty] is recognised and skipped.
+    Two on-disk formats are understood:
 
-    The parser is strict: every malformed row is reported with file,
-    line and column; NaN, infinite and negative timestamps or
+    - the four-column CSV used by the paper's artifact
+      ([src,dst,time,qty], one interaction per line; empty and [#]
+      lines ignored; an optional [src,dst,time,qty] header is skipped);
+    - the versioned binary snapshot of {!Snapshot} ([.tinb]),
+      recognised by its magic bytes regardless of extension.
+
+    The format-agnostic loaders ({!load}, {!load_graph},
+    {!load_compact}) sniff the first four bytes and dispatch; the
+    [_csv_] variants parse CSV only.  [tinflow convert] produces
+    snapshots from CSV and vice versa.
+
+    The CSV parser is strict: every malformed row is reported with
+    file, line and column; NaN, infinite and negative timestamps or
     quantities are rejected as data corruption (Definition 1 transfers
-    non-negative finite quantities).  Use the [_result] variants for
-    recoverable error handling; the plain loaders raise
-    {!Parse_error}. *)
+    non-negative finite quantities).  Snapshot loading is equally
+    strict (checksum, version, structural invariants) — see
+    {!Snapshot}.  Use the [_result] variants for recoverable error
+    handling; the plain loaders raise {!Parse_error}. *)
 
 type error = {
   file : string;  (** [""] when parsing an anonymous channel. *)
-  line : int;  (** 1-based line number. *)
+  line : int;  (** 1-based line number; [0] for whole-file (snapshot) errors. *)
   column : int;  (** 1-based character offset of the offending field. *)
   message : string;
 }
@@ -22,7 +31,9 @@ type error = {
 exception Parse_error of error
 
 val error_to_string : error -> string
-(** ["file:line:column: message"] — the GNU diagnostic format. *)
+(** ["file:line:column: message"] — the GNU diagnostic format — or
+    ["file: message"] when [line = 0] (snapshot errors have no textual
+    position). *)
 
 val pp_error : Format.formatter -> error -> unit
 
@@ -46,6 +57,30 @@ val load_csv : string -> Static.t
 
 val load_csv_graph : string -> Graph.t
 (** @raise Parse_error on malformed input. *)
+
+val load_result : string -> (Static.t, error) result
+(** Format-agnostic load into a compiled network: [.tinb] snapshots by
+    magic sniffing ({!Snapshot.sniff}), CSV otherwise. *)
+
+val load_graph_result : string -> (Graph.t, error) result
+(** Format-agnostic load into a persistent graph.  Snapshots containing
+    self-loops (which {!Graph.t} cannot represent) are reported as
+    errors, matching the CSV parser's self-loop policy of skipping
+    being inapplicable to an already-compiled substrate. *)
+
+val load_compact_result : string -> (Compact.t, error) result
+(** Format-agnostic load into the flat substrate — the cheapest target
+    for both formats (snapshots deserialise straight into it; CSV
+    entries are compiled without building a persistent graph). *)
+
+val load : string -> Static.t
+(** @raise Parse_error on malformed input (either format). *)
+
+val load_graph : string -> Graph.t
+(** @raise Parse_error on malformed input (either format). *)
+
+val load_compact : string -> Compact.t
+(** @raise Parse_error on malformed input (either format). *)
 
 val save_csv : string -> Graph.t -> unit
 (** Writes [src,dst,time,qty] lines, header included, edges in

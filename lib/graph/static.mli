@@ -25,6 +25,13 @@ val of_list : (int * int * Interaction.t list) list -> t
 
 val of_graph : Graph.t -> t
 
+val of_compact : Compact.t -> t
+(** Compiles a flat {!Compact} substrate (e.g. loaded from a [.tinb]
+    snapshot) without going through the persistent graph.  Ids are
+    assigned by first appearance over the compact edge order — the same
+    policy as {!of_list} — with isolated vertices interned last.
+    @raise Invalid_argument if the substrate contains a self-loop. *)
+
 val n_vertices : t -> int
 val n_edges : t -> int
 val n_interactions : t -> int
@@ -52,8 +59,22 @@ val edge_src : t -> edge_id -> vertex
 val edge_dst : t -> edge_id -> vertex
 
 val interactions : t -> edge_id -> Interaction.t array
-(** Time-sorted interactions of an edge.  The returned array is the
-    internal one — callers must not mutate it. *)
+(** Time-sorted interactions of an edge, materialised from the unboxed
+    columns (a fresh array per call — prefer {!edge_time}/{!edge_qty}
+    or {!iter_edge_inter} in hot loops). *)
+
+val edge_n_inter : t -> edge_id -> int
+(** Number of interactions on an edge. *)
+
+val edge_time : t -> edge_id -> int -> float
+(** [edge_time t e k]: timestamp of the [k]-th (time-ordered)
+    interaction of edge [e], read straight from the unboxed column. *)
+
+val edge_qty : t -> edge_id -> int -> float
+
+val iter_edge_inter : t -> edge_id -> (float -> float -> unit) -> unit
+(** [iter_edge_inter t e f] calls [f time qty] over the edge's
+    interactions in time order without allocating. *)
 
 val edge_total_qty : t -> edge_id -> float
 

@@ -23,37 +23,36 @@ module IntMap = Map.Make (Int)
    against the capacity. *)
 type event_nodes = { time : float; b : int; a : int }
 
-let build ?(buffer_capacity = fun _ -> infinity) g ~source ~sink =
+(* Shared network construction: [iter] visits every interaction in
+   [Graph.iter_edges] order (the flat substrate iterates identically),
+   so arc creation order — and therefore the float results of the
+   augmenting-path algorithms — cannot depend on the representation. *)
+let build_of ~empty ~mem_vertex ~iter ?(buffer_capacity = fun _ -> infinity) ~source ~sink () =
   if source = sink then invalid_arg "Time_expand.build: source = sink";
-  if Graph.n_vertices g > 0 && not (Graph.mem_vertex g source && Graph.mem_vertex g sink) then
+  if (not empty) && not (mem_vertex source && mem_vertex sink) then
     invalid_arg "Time_expand.build: source or sink not in graph";
   (* Big-M stand-in for infinite quantities. *)
   let finite_total =
-    Graph.fold_edges
-      (fun _ _ is acc ->
-        List.fold_left
-          (fun acc i ->
-            let q = Interaction.qty i in
-            if Float.is_finite q then acc +. q else acc)
-          acc is)
-      g 0.0
+    let acc = ref 0.0 in
+    iter (fun _ _ i ->
+        let q = Interaction.qty i in
+        if Float.is_finite q then acc := !acc +. q);
+    !acc
   in
   let big_m = finite_total +. 1.0 in
   let cap_of q = if Float.is_finite q then q else big_m in
   (* Event times per vertex. *)
   let events =
-    Graph.fold_edges
-      (fun v u is acc ->
-        List.fold_left
-          (fun acc i ->
-            let tm = Interaction.time i in
-            let add vert acc =
-              let s = match IntMap.find_opt vert acc with Some s -> s | None -> FloatSet.empty in
-              IntMap.add vert (FloatSet.add tm s) acc
-            in
-            add v (add u acc))
-          acc is)
-      g IntMap.empty
+    let acc = ref IntMap.empty in
+    iter (fun v u i ->
+        let tm = Interaction.time i in
+        let add vert =
+          let s = match IntMap.find_opt vert !acc with Some s -> s | None -> FloatSet.empty in
+          acc := IntMap.add vert (FloatSet.add tm s) !acc
+        in
+        add v;
+        add u);
+    !acc
   in
   let net = Net.create ~n:0 in
   let source_node = Net.add_node net in
@@ -102,31 +101,26 @@ let build ?(buffer_capacity = fun _ -> infinity) g ~source ~sink =
         !found
   in
   let interaction_arcs = ref [] in
-  Graph.iter_edges
-    (fun v u is ->
-      List.iter
-        (fun i ->
-          let tm = Interaction.time i and q = Interaction.qty i in
-          let from_node =
-            if v = source then Some source_node
-            else Option.map (fun (e : event_nodes) -> e.b) (find_event v tm)
-          in
-          let to_node =
-            if u = sink then Some sink_node
-            else Option.map (fun (e : event_nodes) -> e.a) (find_event u tm)
-          in
-          match (from_node, to_node) with
-          | Some f, Some t ->
-              let arc = Net.add_arc net ~src:f ~dst:t ~cap:(cap_of q) in
-              interaction_arcs := (arc, (v, u, i)) :: !interaction_arcs
-          | None, _ | _, None ->
-              (* Dead interaction (nothing can be buffered at v before
-                 tm -- the situation the preprocessing pass of Section
-                 4.2.3 exploits), or the target is the infinite-buffer
-                 source, which gains nothing. *)
-              ())
-        is)
-    g;
+  iter (fun v u i ->
+      let tm = Interaction.time i and q = Interaction.qty i in
+      let from_node =
+        if v = source then Some source_node
+        else Option.map (fun (e : event_nodes) -> e.b) (find_event v tm)
+      in
+      let to_node =
+        if u = sink then Some sink_node
+        else Option.map (fun (e : event_nodes) -> e.a) (find_event u tm)
+      in
+      match (from_node, to_node) with
+      | Some f, Some t ->
+          let arc = Net.add_arc net ~src:f ~dst:t ~cap:(cap_of q) in
+          interaction_arcs := (arc, (v, u, i)) :: !interaction_arcs
+      | None, _ | _, None ->
+          (* Dead interaction (nothing can be buffered at v before
+             tm -- the situation the preprocessing pass of Section
+             4.2.3 exploits), or the target is the infinite-buffer
+             source, which gains nothing. *)
+          ());
   {
     net;
     source_node;
@@ -134,6 +128,19 @@ let build ?(buffer_capacity = fun _ -> infinity) g ~source ~sink =
     n_event_nodes = Net.n_nodes net - 2;
     interaction_arcs = !interaction_arcs;
   }
+
+let build ?buffer_capacity g ~source ~sink =
+  build_of ~empty:(Graph.n_vertices g = 0)
+    ~mem_vertex:(Graph.mem_vertex g)
+    ~iter:(fun f -> Graph.iter_edges (fun v u is -> List.iter (f v u) is) g)
+    ?buffer_capacity ~source ~sink ()
+
+let build_compact ?buffer_capacity c ~source ~sink =
+  build_of
+    ~empty:(Compact.n_vertices c = 0)
+    ~mem_vertex:(fun l -> Compact.vertex_of_label c l <> None)
+    ~iter:(fun f -> Compact.iter_grouped c f)
+    ?buffer_capacity ~source ~sink ()
 
 let solve_net ~algo net ~source ~sink =
   match algo with
@@ -143,6 +150,10 @@ let solve_net ~algo net ~source ~sink =
 
 let max_flow ?(algo = `Dinic) ?buffer_capacity g ~source ~sink =
   let { net; source_node; sink_node; _ } = build ?buffer_capacity g ~source ~sink in
+  solve_net ~algo net ~source:source_node ~sink:sink_node
+
+let max_flow_compact ?(algo = `Dinic) ?buffer_capacity c ~source ~sink =
+  let { net; source_node; sink_node; _ } = build_compact ?buffer_capacity c ~source ~sink in
   solve_net ~algo net ~source:source_node ~sink:sink_node
 
 type solution = {

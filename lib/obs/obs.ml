@@ -338,6 +338,7 @@ module Runtime = struct
   let g_domains = Gauge.make "runtime_obs_domains"
   let g_rss_pages = Gauge.make "runtime_rss_pages"
   let g_rss_bytes = Gauge.make "runtime_rss_bytes"
+  let g_rss_peak = Gauge.make "runtime_peak_rss_bytes"
 
   (* Resident set size in pages: second field of /proc/self/statm
      (Linux; absent elsewhere, in which case the RSS gauges stay
@@ -369,8 +370,14 @@ module Runtime = struct
     Gauge.set g_domains (float_of_int (Atomic.get registered_domains));
     match rss_pages () with
     | Some pages ->
+        let cur = float_of_int pages *. 4096.0 in
         Gauge.set g_rss_pages (float_of_int pages);
-        Gauge.set g_rss_bytes (float_of_int pages *. 4096.0)
+        Gauge.set g_rss_bytes cur;
+        (* Max-tracking: unlike the last-write-wins gauges above, the
+           peak survives later, smaller samples ([Obs.reset] clears
+           it). *)
+        let prev = Gauge.value g_rss_peak in
+        Gauge.set g_rss_peak (if Float.is_nan prev then cur else Float.max prev cur)
     | None -> ()
 
   let lock = Mutex.create ()

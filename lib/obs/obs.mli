@@ -172,9 +172,13 @@ module Runtime : sig
       registered with this observability layer ([runtime_obs_domains]),
       and the resident set size from [/proc/self/statm]
       ([runtime_rss_pages], and [runtime_rss_bytes] assuming 4 KiB
-      pages) when that file exists (Linux).  Rates (allocation rate,
-      collections/s) are computed scrape-side from successive samples.
-      Like every probe, a no-op while {!enabled} is false. *)
+      pages) when that file exists (Linux).  [runtime_peak_rss_bytes]
+      is max-tracking: it holds the largest [runtime_rss_bytes] seen
+      since the last {!reset}, so the high-water mark survives later,
+      smaller samples (the load benchmark reports it per stage).
+      Rates (allocation rate, collections/s) are computed scrape-side
+      from successive samples.  Like every probe, a no-op while
+      {!enabled} is false. *)
 
   val start : ?period_ms:int -> unit -> unit
   (** Start the background sampler: one {!sample} immediately, then

@@ -193,11 +193,7 @@ let search ?jobs sh ~name ~n body =
 (* Greedy flow along a free-standing chain of edges given by edge ids
    (used by the on-the-fly GB paths: same semantics as the table
    rows). *)
-let chain_flow net eids =
-  let edges =
-    List.map (fun e -> (Static.edge_dst net e, Array.to_list (Static.interactions net e))) eids
-  in
-  Interaction.total_qty (Simplify.reduce_chain_interactions edges)
+let chain_flow net eids = Interaction.total_qty (Tables.chain_arrivals net eids)
 
 (* Maximum flow of a cyclic instance anchored at [anchor]. *)
 let cyclic_instance_flow net eids ~anchor =

@@ -62,14 +62,29 @@ let build n_vertices collected =
   done;
   { rows; offsets }
 
+let chain_arrivals net eids =
+  (* Gather the chain's interactions straight out of the Static columns
+     and run the flat Lemma-3 reduction; the chain is positional, so
+     vertex identity (including a = final vertex for cycles) is
+     irrelevant here. *)
+  let k = List.length eids in
+  let total = List.fold_left (fun acc e -> acc + Static.edge_n_inter net e) 0 eids in
+  let times = Float.Array.create total and qtys = Float.Array.create total in
+  let pos = Array.make total 0 in
+  let off = ref 0 in
+  List.iteri
+    (fun p e ->
+      for j = 0 to Static.edge_n_inter net e - 1 do
+        Float.Array.set times !off (Static.edge_time net e j);
+        Float.Array.set qtys !off (Static.edge_qty net e j);
+        pos.(!off) <- p;
+        incr off
+      done)
+    eids;
+  Simplify.reduce_chain_cols ~k ~times ~qtys ~pos
+
 let path_row net verts eids =
-  (* Chain the edges and run the greedy scan via the shared Lemma-3
-     reduction helper; the chain is positional, so vertex identity
-     (including a = final vertex for cycles) is irrelevant here. *)
-  let edges =
-    List.map (fun e -> (Static.edge_dst net e, Array.to_list (Static.interactions net e))) eids
-  in
-  let arrivals = Simplify.reduce_chain_interactions edges in
+  let arrivals = chain_arrivals net eids in
   { verts; arrivals; flow = Interaction.total_qty arrivals }
 
 (* Domain-parallel precompute: anchors are sharded with

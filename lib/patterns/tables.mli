@@ -67,3 +67,9 @@ val of_rows : n_vertices:int -> row list -> t
 val path_row : Static.t -> Static.vertex array -> Static.edge_id list -> row
 (** Builds one row: runs the greedy reduction over the given edge
     chain.  Exposed for {!Delta}. *)
+
+val chain_arrivals : Static.t -> Static.edge_id list -> Interaction.t list
+(** Arrival sequence of the greedy reduction over the given edge chain
+    — [path_row] without the row wrapper.  Reads the interaction
+    columns directly (no per-candidate list building); exposed for the
+    counting catalog. *)

@@ -55,7 +55,7 @@ let direction path =
     let rec go i = i + n <= h && (String.sub path i n = needle || go (i + 1)) in
     go 0
   in
-  if has "_ms" || has "_secs" || has "wall" then Lower_better
+  if has "_ms" || has "_secs" || has "wall" || has "rss" then Lower_better
   else if has "_per_s" || has "speedup" then Higher_better
   else Exact
 

@@ -7,8 +7,9 @@
     [jobs] or [pattern]) when present — so reordering a dataset or
     adding a job count does not shift every other metric — and by
     index otherwise.  Each shared metric is then judged against the
-    tolerance in the direction its name implies: wall-clock paths
-    ([..._ms], [..._secs]) regress upward, throughput paths
+    tolerance in the direction its name implies: wall-clock and
+    footprint paths ([..._ms], [..._secs], [...rss...]) regress
+    upward, throughput paths
     ([..._per_s], [...speedup...]) regress downward, and anything else
     (counters, instance counts) regresses on any deviation beyond the
     tolerance.  Machine-dependent facts ([domains_available]) are

@@ -143,7 +143,7 @@ let oracle_names =
   [ "greedy" ]
   @ List.map fst lp_solvers
   @ List.map fst te_algos
-  @ [ "pipeline:pre"; "pipeline:presim" ]
+  @ [ "pipeline:pre"; "pipeline:presim"; "lp:c"; "te:c" ]
 
 let check ?(policy = Fcmp.default_policy) ?(extra = []) g ~source ~sink =
   let eps = policy.Fcmp.flow_eps in
@@ -262,6 +262,45 @@ let check ?(policy = Fcmp.default_policy) ?(extra = []) g ~source ~sink =
       | Some v -> record o.name v
       | None -> ())
     extra;
+  (* Flat-substrate twins, driven off [Compact.of_graph].  The LP and
+     time-expansion twins join the pairwise max-flow agreement below;
+     on top of the shared tolerance all three are held to bit-for-bit
+     equality with their [Graph.t] counterparts — the representation
+     migration must not perturb a single ulp. *)
+  (match guarded "compact" (fun () -> Compact.of_graph g) with
+  | None -> ()
+  | Some c ->
+      let bit_identical name v ref_name =
+        match List.assoc_opt ref_name !values with
+        | Some ref_v when not (Float.equal v ref_v) ->
+            add "compact-not-bit-identical"
+              (Printf.sprintf "%s=%.17g but %s=%.17g" ref_name ref_v name v)
+        | _ -> ()
+      in
+      (match (greedy, guarded "greedy:c" (fun () -> Greedy.flow_compact c ~source ~sink)) with
+      | Some gv, Some cv when not (Float.equal cv gv) ->
+          add "compact-not-bit-identical"
+            (Printf.sprintf "greedy=%.17g but greedy:c=%.17g" gv cv)
+      | _ -> ());
+      (match
+         guarded "lp:c" (fun () ->
+             match
+               Lp_flow.solve_compact ~solver:`Sparse ~eps:policy.Fcmp.pivot_eps c ~source ~sink
+             with
+             | Ok v -> v
+             | Error `Unbounded -> failwith "unbounded"
+             | Error `Infeasible -> failwith "infeasible"
+             | Error `Iteration_limit -> failwith "iteration limit")
+       with
+      | Some v ->
+          bit_identical "lp:c" v "lp:sparse";
+          record "lp:c" v
+      | None -> ());
+      match guarded "te:c" (fun () -> TE.max_flow_compact c ~source ~sink) with
+      | Some v ->
+          bit_identical "te:c" v "te:dinic";
+          record "te:c" v
+      | None -> ());
   let maxes = List.rev !values in
   (match greedy with Some gv -> record "greedy" gv | None -> ());
   (* Pairwise agreement of all maximum-flow oracles under the shared

@@ -206,6 +206,33 @@ let test_listen_announces_port () =
 
 let write_file path contents = Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc contents)
 
+let test_convert_roundtrip () =
+  let snap = Filename.temp_file "tinflow_conv" ".tinb" in
+  let back = Filename.temp_file "tinflow_conv" ".csv" in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove snap with Sys_error _ -> ());
+      try Sys.remove back with Sys_error _ -> ())
+    (fun () ->
+      let out = check_ok "convert to tinb" (run_capture (Printf.sprintf "convert %s %s" csv snap)) in
+      Alcotest.(check bool) "snapshot summary" true (contains out "snapshot v1");
+      (* The snapshot feeds straight back into any subcommand via
+         auto-detection. *)
+      let out = check_ok "flow on snapshot" (run_capture (Printf.sprintf "flow %s -s 0 -t 1" snap)) in
+      Alcotest.(check bool) "maximum line" true (contains out "maximum flow");
+      let _ = check_ok "convert back to csv" (run_capture (Printf.sprintf "convert %s %s" snap back)) in
+      (* Same network both ways: interaction counts agree. *)
+      let c_csv = Tin_graph.Io.load_compact csv in
+      let c_back = Tin_graph.Io.load_compact back in
+      Alcotest.(check int) "interactions preserved"
+        (Tin_graph.Compact.n_interactions c_csv)
+        (Tin_graph.Compact.n_interactions c_back))
+
+let test_convert_bad_input () =
+  let code, out = run_capture (Printf.sprintf "convert %s out.unknownext" csv) in
+  Alcotest.(check bool) "nonzero exit" true (code <> 0);
+  Alcotest.(check bool) "names the format" true (contains out "unknown output format")
+
 let test_bench_check () =
   let dir = Filename.temp_file "tinflow_bench" "" in
   Sys.remove dir;
@@ -288,6 +315,8 @@ let () =
               Alcotest.test_case "verify single network" `Quick test_verify_single_network;
               Alcotest.test_case "log-json events" `Quick test_log_json;
               Alcotest.test_case "listen announces port" `Quick test_listen_announces_port;
+              Alcotest.test_case "convert round-trip" `Quick test_convert_roundtrip;
+              Alcotest.test_case "convert bad output format" `Quick test_convert_bad_input;
               Alcotest.test_case "bench-check gate" `Quick test_bench_check;
             ] );
         ])

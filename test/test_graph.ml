@@ -13,6 +13,34 @@ let test_interaction_validation () =
   Alcotest.check_raises "negative qty" (Invalid_argument "Interaction.make: negative quantity")
     (fun () -> ignore (Interaction.make ~time:1.0 ~qty:(-1.0)))
 
+let test_interaction_boundaries () =
+  (* [make] accepts exactly the CSV loader's domain: finite
+     non-negative times and quantities.  Zero is a value, not an
+     error. *)
+  let z = Interaction.make ~time:0.0 ~qty:0.0 in
+  Alcotest.(check (float 0.0)) "zero time ok" 0.0 (Interaction.time z);
+  Alcotest.check_raises "negative time" (Invalid_argument "Interaction.make: negative time")
+    (fun () -> ignore (Interaction.make ~time:(-1.0) ~qty:1.0));
+  Alcotest.check_raises "infinite time" (Invalid_argument "Interaction.make: infinite time")
+    (fun () -> ignore (Interaction.make ~time:infinity ~qty:1.0));
+  Alcotest.check_raises "infinite qty" (Invalid_argument "Interaction.make: infinite quantity")
+    (fun () -> ignore (Interaction.make ~time:1.0 ~qty:infinity))
+
+let test_interaction_unchecked () =
+  (* [unchecked] is the synthetic-edge escape hatch: infinities are
+     legal (super-source/sink capacities), NaN and negative quantities
+     still are not. *)
+  let inf_q = Interaction.unchecked ~time:1.0 ~qty:infinity in
+  Alcotest.(check bool) "infinite qty allowed" true (Interaction.qty inf_q = infinity);
+  let early = Interaction.unchecked ~time:neg_infinity ~qty:1.0 in
+  Alcotest.(check bool) "-inf time allowed" true (Interaction.time early = neg_infinity);
+  Alcotest.check_raises "NaN time still rejected"
+    (Invalid_argument "Interaction.unchecked: NaN time") (fun () ->
+      ignore (Interaction.unchecked ~time:nan ~qty:1.0));
+  Alcotest.check_raises "negative qty still rejected"
+    (Invalid_argument "Interaction.unchecked: negative quantity") (fun () ->
+      ignore (Interaction.unchecked ~time:1.0 ~qty:(-1.0)))
+
 let test_interaction_order () =
   let is = Interaction.of_pairs [ (3.0, 1.0); (1.0, 2.0); (2.0, 5.0) ] in
   Alcotest.(check (list (float 0.0))) "sorted by time" [ 1.0; 2.0; 3.0 ]
@@ -240,6 +268,8 @@ let () =
       ( "interaction",
         [
           Alcotest.test_case "validation" `Quick test_interaction_validation;
+          Alcotest.test_case "boundaries" `Quick test_interaction_boundaries;
+          Alcotest.test_case "unchecked" `Quick test_interaction_unchecked;
           Alcotest.test_case "ordering" `Quick test_interaction_order;
         ] );
       ( "graph",

@@ -72,13 +72,14 @@ let test_cyclic_graph_supported () =
 let test_infinite_source_edges () =
   (* Synthetic endpoints: infinite quantities on source edges become
      unconstrained right-hand sides, not unbounded LPs. *)
+  let syn time qty = [ Interaction.unchecked ~time ~qty ] in
   let g =
-    Graph.of_edges
-      [
-        (0, 1, [ (neg_infinity, infinity) ]);
-        (1, 2, [ (4.0, 6.0) ]);
-        (2, 3, [ (infinity, infinity) ]);
-      ]
+    Graph.add_edge
+      (Graph.add_edge
+         (Graph.add_edge Graph.empty ~src:0 ~dst:1 (syn neg_infinity infinity))
+         ~src:1 ~dst:2
+         [ Interaction.make ~time:4.0 ~qty:6.0 ])
+      ~src:2 ~dst:3 (syn infinity infinity)
   in
   Check.check_flow "finite bottleneck" 6.0 (solve g ~source:0 ~sink:3)
 

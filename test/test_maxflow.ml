@@ -144,9 +144,14 @@ let test_te_strict_time () =
 let test_te_infinite_quantities () =
   (* Synthetic source edge: infinite quantity must be big-M'd, flow is
      capped by the finite inner edge. *)
+  let syn time qty = [ Interaction.unchecked ~time ~qty ] in
   let g =
-    Graph.of_edges
-      [ (0, 1, [ (neg_infinity, infinity) ]); (1, 2, [ (5.0, 7.0) ]); (2, 3, [ (infinity, infinity) ]) ]
+    Graph.add_edge
+      (Graph.add_edge
+         (Graph.add_edge Graph.empty ~src:0 ~dst:1 (syn neg_infinity infinity))
+         ~src:1 ~dst:2
+         [ Interaction.make ~time:5.0 ~qty:7.0 ])
+      ~src:2 ~dst:3 (syn infinity infinity)
   in
   Alcotest.(check (float 1e-9)) "finite bottleneck" 7.0 (TE.max_flow g ~source:0 ~sink:3)
 

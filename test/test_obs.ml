@@ -608,6 +608,31 @@ let test_runtime_sample () =
       Alcotest.(check bool) "heap words positive" true
         (List.assoc "runtime_gc_heap_words" gs > 0.0))
 
+let test_runtime_peak_rss () =
+  if Sys.file_exists "/proc/self/statm" then begin
+    with_enabled (fun () ->
+        Obs.Runtime.sample ();
+        let gs = Obs.gauges () in
+        Alcotest.(check bool) "peak published" true (List.mem_assoc "runtime_peak_rss_bytes" gs);
+        let peak1 = List.assoc "runtime_peak_rss_bytes" gs in
+        let cur1 = List.assoc "runtime_rss_bytes" gs in
+        Alcotest.(check bool) "peak >= current at first sample" true (peak1 >= cur1);
+        (* The gauge is max-tracking: plant a high-water mark above any
+           realistic RSS and verify a later (smaller) sample does not
+           lower it, while the point-in-time gauge keeps moving. *)
+        let planted = 1e18 in
+        Obs.Gauge.set (Obs.Gauge.make "runtime_peak_rss_bytes") planted;
+        Obs.Runtime.sample ();
+        let gs = Obs.gauges () in
+        Alcotest.(check (float 0.0)) "peak survives smaller sample" planted
+          (List.assoc "runtime_peak_rss_bytes" gs);
+        Alcotest.(check bool) "current gauge still live" true
+          (List.assoc "runtime_rss_bytes" gs < planted));
+    (* reset clears the high-water mark along with everything else. *)
+    Alcotest.(check bool) "cleared by reset" false
+      (List.mem_assoc "runtime_peak_rss_bytes" (Obs.gauges ()))
+  end
+
 let test_runtime_sampler_thread () =
   with_enabled (fun () ->
       Alcotest.(check bool) "not running before start" false (Obs.Runtime.running ());
@@ -809,6 +834,7 @@ let () =
       ( "runtime",
         [
           Alcotest.test_case "one-shot sample" `Quick test_runtime_sample;
+          Alcotest.test_case "peak rss high-water mark" `Quick test_runtime_peak_rss;
           Alcotest.test_case "sampler thread" `Quick test_runtime_sampler_thread;
         ] );
       ( "serve",

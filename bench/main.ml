@@ -10,12 +10,14 @@
    --pattern-json does the same for the pattern-search jobs sweep
    (default: BENCH_pattern.json, written by the patterns target);
    --load-json for the CSV-vs-snapshot load benchmark (default:
-   BENCH_load.json, written by the load target). *)
+   BENCH_load.json, written by the load target); --ingest-json for the
+   streaming-daemon throughput benchmark (default: BENCH_ingest.json,
+   written by the ingest target). *)
 
 let known_targets =
   [
     "table4"; "table5"; "table6"; "table7"; "table8"; "figure11"; "table9"; "table10"; "table11";
-    "flows"; "patterns"; "micro"; "ablation"; "sweep"; "solvers"; "obs"; "load"; "all";
+    "flows"; "patterns"; "micro"; "ablation"; "sweep"; "solvers"; "obs"; "load"; "ingest"; "all";
   ]
 
 let usage () =
@@ -29,6 +31,7 @@ let () =
   let json = ref "BENCH_flow.json" in
   let pattern_json = ref "BENCH_pattern.json" in
   let load_json = ref "BENCH_load.json" in
+  let ingest_json = ref "BENCH_ingest.json" in
   let rec strip = function
     | "--json" :: path :: rest ->
         json := path;
@@ -39,7 +42,10 @@ let () =
     | "--load-json" :: path :: rest ->
         load_json := path;
         strip rest
-    | [ "--json" ] | [ "--pattern-json" ] | [ "--load-json" ] -> usage ()
+    | "--ingest-json" :: path :: rest ->
+        ingest_json := path;
+        strip rest
+    | [ "--json" ] | [ "--pattern-json" ] | [ "--load-json" ] | [ "--ingest-json" ] -> usage ()
     | a :: rest -> a :: strip rest
     | [] -> []
   in
@@ -123,6 +129,10 @@ let () =
   end;
   if wants "load" then begin
     Load_bench.run ~json:!load_json ~scale_name:(if quick then "quick" else "full") datasets;
+    print_newline ()
+  end;
+  if wants "ingest" then begin
+    Ingest_bench.run ~json:!ingest_json ~scale_name:(if quick then "quick" else "full") ~quick ();
     print_newline ()
   end;
   if wants "micro" || List.mem "all" targets then Micro.run datasets;

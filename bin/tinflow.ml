@@ -4,6 +4,7 @@
      flow      compute greedy/maximum flow on a CSV network
      batch     evaluate all extracted subgraph flows across CPU cores
      patterns  enumerate flow patterns on a CSV network
+     serve     streaming ingestion daemon (POST /ingest, windowed flow, alerts)
      verify      differential correctness check / fuzzer
      generate    write a synthetic dataset to CSV
      convert     CSV <-> binary snapshot (.tinb)
@@ -544,6 +545,129 @@ let patterns_cmd =
       const run $ file_arg $ which $ custom $ limit $ use_pb $ hybrid $ jobs $ time_budget
       $ obs_serve_term)
 
+(* --- serve --- *)
+
+let serve_cmd =
+  let module Daemon = Tin_daemon.Daemon in
+  let base =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"NETWORK"
+          ~doc:
+            "Optional base network seeding the window and the precomputed path tables (CSV or \
+             .tinb, auto-detected).  Without it the daemon starts empty.")
+  in
+  let source =
+    Arg.(required & opt (some int) None & info [ "source"; "s" ] ~docv:"VERTEX" ~doc:"Source vertex of the monitored flow.")
+  in
+  let sink =
+    Arg.(required & opt (some int) None & info [ "sink"; "t" ] ~docv:"VERTEX" ~doc:"Sink vertex of the monitored flow.")
+  in
+  let listen =
+    Arg.(
+      value & opt int 0
+      & info [ "listen" ] ~docv:"PORT"
+          ~doc:
+            "TCP port for the HTTP endpoint (POST /ingest, GET /status, /metrics, \
+             /metrics.json, /healthz).  PORT 0 (the default) picks a free port, announced on \
+             stderr.")
+  in
+  let window =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "window" ] ~docv:"SECS"
+          ~doc:
+            "Sliding event-time window: keep interactions within SECS of the newest accepted \
+             timestamp (a closed interval); older ones are evicted from the flow computation.  \
+             Default: unbounded.")
+  in
+  let cadence =
+    Arg.(
+      value & opt int 256
+      & info [ "cadence" ] ~docv:"N"
+          ~doc:
+            "Re-evaluate patterns after every N accepted interactions (delta table \
+             maintenance + catalog search).  0 disables ticking.")
+  in
+  let patterns =
+    Arg.(
+      value & opt_all pattern_conv []
+      & info [ "pattern"; "p" ] ~docv:"P"
+          ~doc:
+            "Pattern to monitor (p1..p6, rp1..rp3); repeatable.  Alerts are emitted on the \
+             --log-json event stream when an evaluation finds instances whose total flow \
+             clears --min-flow.")
+  in
+  let min_flow =
+    Arg.(
+      value & opt float 0.
+      & info [ "min-flow" ] ~docv:"F" ~doc:"Alert threshold on a pattern's total flow (default 0: any positive flow).")
+  in
+  let limit =
+    Arg.(value & opt int 10_000 & info [ "limit" ] ~docv:"N" ~doc:"Instance cap per pattern evaluation.")
+  in
+  let run base source sink listen window cadence patterns min_flow limit obs =
+    setup_logs ();
+    with_obs obs @@ fun () ->
+    let base_g = match base with None -> Graph.empty | Some f -> load_graph f in
+    let on_alert (a : Daemon.alert) =
+      Event.emit "serve.alert"
+        ~fields:
+          [
+            ("pattern", Event.str (Catalog.pattern_name a.Daemon.pattern));
+            ("instances", string_of_int a.Daemon.instances);
+            ("total_flow", Event.num a.Daemon.total_flow);
+            ("tick", string_of_int a.Daemon.tick);
+          ]
+    in
+    let config = Daemon.config ~source ~sink ?window ~cadence ~patterns ~min_flow ~limit () in
+    match Daemon.create ~base:base_g ~on_alert config with
+    | exception Invalid_argument msg ->
+        prerr_endline ("tinflow: " ^ msg);
+        2
+    | d ->
+        Tin_obs.Obs.enable ();
+        if not (Tin_obs.Obs.Runtime.running ()) then Tin_obs.Obs.Runtime.start ~period_ms:500 ();
+        let s = Tin_obs.Serve.start ~port:listen ~routes:(Daemon.routes d) () in
+        Printf.eprintf
+          "tinflow: serve: listening on port %d (POST /ingest, GET /status, /metrics)\n%!"
+          (Tin_obs.Serve.port s);
+        Event.emit "serve.start" ~fields:[ ("port", string_of_int (Tin_obs.Serve.port s)) ];
+        let stop = Atomic.make false in
+        let on_signal _ = Atomic.set stop true in
+        Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+        Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+        while not (Atomic.get stop) do
+          Unix.sleepf 0.05
+        done;
+        (* Final tick so table state and alerts cover the tail of the
+           stream, then report. *)
+        ignore (Daemon.tick d);
+        let st = Daemon.stats d in
+        Tin_obs.Serve.stop s;
+        Event.emit "serve.stop"
+          ~fields:
+            [
+              ("accepted_total", string_of_int st.Daemon.accepted_total);
+              ("rejected_total", string_of_int st.Daemon.rejected_total);
+              ("flow", Event.num st.Daemon.flow);
+            ];
+        Printf.eprintf "tinflow: serve: %d accepted, %d rejected, windowed flow %g\n%!"
+          st.Daemon.accepted_total st.Daemon.rejected_total st.Daemon.flow;
+        0
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the streaming ingestion daemon: accept interactions over HTTP (POST /ingest, \
+          JSON lines), maintain a sliding window with incremental greedy flow, delta-maintain \
+          the pattern tables on a cadence and alert on matching patterns")
+    Term.(
+      const run $ base $ source $ sink $ listen $ window $ cadence $ patterns $ min_flow
+      $ limit $ obs_term)
+
 (* --- verify --- *)
 
 let verify_cmd =
@@ -747,11 +871,11 @@ let bench_check_cmd =
   let files =
     Arg.(
       value
-      & pos_all string [ "BENCH_flow.json"; "BENCH_pattern.json" ]
+      & pos_all string [ "BENCH_flow.json"; "BENCH_pattern.json"; "BENCH_ingest.json" ]
       & info [] ~docv:"BENCH.json"
           ~doc:
-            "Benchmark documents to check (default: BENCH_flow.json BENCH_pattern.json in the \
-             current directory).")
+            "Benchmark documents to check (default: BENCH_flow.json BENCH_pattern.json \
+             BENCH_ingest.json in the current directory).")
   in
   let baseline =
     Arg.(
@@ -899,6 +1023,7 @@ let () =
             paths_cmd;
             profile_cmd;
             patterns_cmd;
+            serve_cmd;
             verify_cmd;
             generate_cmd;
             convert_cmd;

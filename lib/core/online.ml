@@ -60,6 +60,13 @@ let push t ~src ~dst i =
   end;
   moved
 
+let of_graph g ~source ~sink =
+  let t = create ~source ~sink in
+  Array.iter
+    (fun (src, dst, i) -> ignore (push t ~src ~dst i))
+    (Graph.interactions_sorted g);
+  t
+
 let flow t = get t.avail t.sink +. get t.pending t.sink
 
 let buffer t v =

@@ -13,6 +13,24 @@ type t
 val create : source:Graph.vertex -> sink:Graph.vertex -> t
 (** Fresh monitor.  @raise Invalid_argument if [source = sink]. *)
 
+val of_graph : Graph.t -> source:Graph.vertex -> sink:Graph.vertex -> t
+(** [of_graph g ~source ~sink] replays every interaction of [g]
+    through {!push} in the canonical scan order of the batch algorithm
+    — {!Graph.interactions_sorted}, i.e. [(time, qty, src, dst)]
+    ascending — so [flow (of_graph g ~source ~sink)] equals
+    [Greedy.flow g ~source ~sink] {e bit-for-bit}: both run the same
+    floating-point operation sequence (property-tested).  This is the
+    window-rebuild fallback of the streaming daemon: greedy flow
+    cannot be rewound when old interactions leave a sliding window, so
+    the monitor is rebuilt from the restricted graph instead.
+
+    Equivalence holds only for the canonical order: two interactions
+    sharing a timestamp may legitimately yield a different flow when
+    pushed in another (still legal, non-decreasing) arrival order,
+    because a sender's buffer decreases immediately within the instant
+    (see the documented counterexample test).
+    @raise Invalid_argument if [source = sink]. *)
+
 val push : t -> src:Graph.vertex -> dst:Graph.vertex -> Interaction.t -> float
 (** Feeds one interaction and returns the quantity it moved under the
     greedy rule (Definition 4).  Interactions must arrive in

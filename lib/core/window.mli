@@ -8,10 +8,16 @@
     natural question an analyst asks after "how much flowed"). *)
 
 val restrict : ?from_time:float -> ?until:float -> Graph.t -> Graph.t
-(** [restrict ~from_time ~until g] keeps only interactions with
-    [from_time <= t <= until] (defaults: unbounded on either side).
-    Edges whose sequence empties disappear; all vertices remain, so
-    source/sink designations stay valid. *)
+(** [restrict ~from_time ~until g] keeps exactly the interactions whose
+    timestamp lies in the {b closed} interval [[from_time, until]]:
+    both endpoints are inclusive, so an interaction at [t = from_time]
+    or [t = until] survives (defaults: unbounded on either side).
+    Sliding-window maintainers rely on the left boundary — with window
+    width [w] and stream head [last], [restrict ~from_time:(last -. w)]
+    retains an interaction at exactly [last -. w], which is what the
+    [tinflow serve] daemon's eviction implements and its tests pin
+    down.  Edges whose sequence empties disappear; all vertices
+    remain, so source/sink designations stay valid. *)
 
 val max_flow :
   ?from_time:float ->

@@ -1,0 +1,48 @@
+module Json = Tin_util.Json
+
+type entry = { src : int; dst : int; inter : Interaction.t }
+
+let field name doc = Option.to_result ~none:("missing field \"" ^ name ^ "\"") (Json.member name doc)
+
+let as_num name v =
+  Option.to_result ~none:(Printf.sprintf "field %S is not a number" name) (Json.num v)
+
+let as_vertex name doc =
+  Result.bind (field name doc) @@ fun v ->
+  Result.bind (as_num name v) @@ fun x ->
+  if Float.is_integer x && Float.abs x <= 1e15 then Ok (int_of_float x)
+  else Error (Printf.sprintf "field %S is not an integer vertex label" name)
+
+let ( let* ) = Result.bind
+
+let parse_line s =
+  match Json.parse s with
+  | Error e -> Error e
+  | Ok doc -> (
+      match doc with
+      | Json.Obj _ ->
+          let* src = as_vertex "src" doc in
+          let* dst = as_vertex "dst" doc in
+          let* time = Result.bind (field "time" doc) (as_num "time") in
+          let* qty = Result.bind (field "qty" doc) (as_num "qty") in
+          let* inter =
+            match Interaction.make ~time ~qty with
+            | i -> Ok i
+            | exception Invalid_argument msg -> Error msg
+          in
+          Ok { src; dst; inter }
+      | _ -> Error "expected a JSON object per line")
+
+let parse_body s =
+  let lines = String.split_on_char '\n' s in
+  let rec go n acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+        if String.trim line = "" then go (n + 1) acc rest
+        else begin
+          match parse_line line with
+          | Ok e -> go (n + 1) (e :: acc) rest
+          | Error msg -> Error (Printf.sprintf "line %d: %s" n msg)
+        end
+  in
+  go 1 [] lines

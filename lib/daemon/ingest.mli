@@ -1,0 +1,22 @@
+(** Decoding of the [POST /ingest] wire format: JSON lines.
+
+    Each non-blank line is one interaction,
+    [{"src": 3, "dst": 7, "time": 1699999999.0, "qty": 250.0}],
+    with the exact field domain of the CSV loader ({!Interaction.make}:
+    finite non-negative time and quantity; integer vertex labels).
+
+    Decoding errors are {e transport}-level: one malformed line fails
+    the whole batch (the client is buggy; answered [400]).  Data-level
+    stream conditions — a late arrival, a self-loop — are left to the
+    daemon, which counts and skips them per entry instead of failing
+    the batch. *)
+
+type entry = { src : int; dst : int; inter : Interaction.t }
+
+val parse_line : string -> (entry, string) result
+(** [parse_line s] decodes one JSON object.  Errors name the missing
+    or malformed field. *)
+
+val parse_body : string -> (entry list, string) result
+(** [parse_body s] decodes a whole request body; blank lines are
+    skipped; errors are prefixed with the 1-based line number. *)

@@ -1,27 +1,86 @@
-(** Minimal HTTP/1.1 metrics endpoint on stdlib [Unix] (no new
-    dependencies): a Prometheus scrape target for long-running
-    [tinflow] jobs.
+(** Minimal HTTP/1.1 server on stdlib [Unix] (no new dependencies):
+    the Prometheus scrape target for long-running [tinflow] jobs, and
+    the transport of the [tinflow serve] ingestion daemon.
 
-    Routes:
+    Built-in routes (always registered):
     - [GET /metrics] — {!Obs.prometheus_text}, served as
       [text/plain; version=0.0.4]
     - [GET /metrics.json] — {!Obs.metrics_json}
     - [GET /healthz] — ["ok"], for liveness probes and smoke tests
+
+    Applications register further [GET]/[POST] routes through
+    {!start}'s [routes] argument; [POST] bodies are bounded by
+    [max_body] (an announced larger body is answered [413] without
+    being read).
 
     The accept loop runs on its own domain, so a scrape never blocks a
     solver domain; each export merges the per-domain metric cells
     under the documented tolerated read-race (a scrape may miss the
     racing increments but counter reads are monotone across successive
     scrapes — regression-tested).  Connections are served one at a
-    time with short socket timeouts: a scraper is the only intended
-    client, and a stalled peer must not wedge the endpoint. *)
+    time with short socket timeouts: a stalled peer must not wedge the
+    endpoint.
+
+    Robustness contract (each regression-tested):
+    - SIGPIPE is ignored process-wide when the first server starts (a
+      pre-installed custom handler is preserved), so a peer closing
+      mid-response surfaces as the handled [Unix_error (EPIPE, _, _)]
+      instead of killing the process.
+    - A peer that connects and then sends nothing (or vanishes before
+      completing a request) gets {e no} response: timeouts and closes
+      are distinguished from malformed input, which is still answered
+      [400].
+    - Request parsing is linear in the request size: the
+      head-terminator scan resumes where the previous chunk ended. *)
+
+type meth = [ `GET | `POST ]
+
+type response = { code : int; content_type : string; body : string }
+
+type handler = body:string -> response
+(** Route callback, run on the serving domain.  [body] is the decoded
+    request body ([""] for GET).  An exception escaping the handler is
+    answered as a [500] with the exception text; the server survives. *)
 
 type t
 
-val start : ?addr:string -> port:int -> unit -> t
+(** Incremental HTTP request parsing, exposed for deterministic unit
+    tests of the chunk-boundary cases (a terminator split across two
+    reads, an oversized declared body). *)
+module Request : sig
+  type t = { meth : string; target : string; body : string }
+
+  type parser
+
+  val parser : ?max_head:int -> ?max_body:int -> unit -> parser
+  (** Fresh single-request parser.  [max_head] (default 8192) bounds
+      the bytes accepted before the blank line; [max_body] (default
+      4 MiB) bounds the declared [Content-Length]. *)
+
+  val feed :
+    parser ->
+    string ->
+    [ `More | `Done of t | `Head_too_large | `Body_too_large | `Malformed ]
+  (** Feed one received chunk.  [`More] means the request is still
+      incomplete; the three failure cases are terminal.  The head scan
+      is O(chunk), not O(accumulated): it resumes from
+      [max 0 (previous_length - 3)]. *)
+end
+
+val start :
+  ?addr:string ->
+  port:int ->
+  ?read_timeout:float ->
+  ?max_body:int ->
+  ?routes:(meth * string * handler) list ->
+  unit ->
+  t
 (** [start ~port ()] binds [addr] (default ["0.0.0.0"]) : [port]
     ([SO_REUSEADDR] set; port [0] picks an ephemeral port — see
-    {!port}) and spawns the serving domain.
+    {!port}) and spawns the serving domain.  [read_timeout] (default
+    2 s) is the per-connection [SO_RCVTIMEO]/[SO_SNDTIMEO]; [routes]
+    are matched on exact (method, path) after stripping the query
+    string, ahead of the built-in routes.
     @raise Unix.Unix_error when the bind fails (port in use,
     privileged port). *)
 

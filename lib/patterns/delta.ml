@@ -1,3 +1,10 @@
+module Obs = Tin_obs.Obs
+
+(* The streaming daemon applies deltas on a cadence; these make the
+   incremental-versus-rebuild economics visible in a scrape. *)
+let c_applies = Obs.Counter.make "delta.applies"
+let c_rows = Obs.Counter.make "delta.rows_recomputed"
+
 type t = { net : Static.t; tables : Catalog.tables; rows_recomputed : int }
 
 let create ?with_chains net =
@@ -145,6 +152,8 @@ let apply t ~additions =
         in
         (Some table, count)
   in
+  Obs.Counter.incr c_applies;
+  Obs.Counter.add c_rows (c2count + c3count + chain_count);
   {
     net;
     tables = { Catalog.l2; l3; c2 };

@@ -206,6 +206,143 @@ let test_listen_announces_port () =
 
 let write_file path contents = Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc contents)
 
+(* --- serve daemon end to end --------------------------------------- *)
+
+let http_request ~port request =
+  let sock = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let payload = Bytes.of_string request in
+      let off = ref 0 in
+      while !off < Bytes.length payload do
+        off := !off + Unix.write sock payload !off (Bytes.length payload - !off)
+      done;
+      let buf = Bytes.create 4096 in
+      let acc = Buffer.create 1024 in
+      let rec drain () =
+        let got = Unix.read sock buf 0 (Bytes.length buf) in
+        if got > 0 then begin
+          Buffer.add_subbytes acc buf 0 got;
+          drain ()
+        end
+      in
+      drain ();
+      Buffer.contents acc)
+
+let read_file path = In_channel.with_open_text path In_channel.input_all
+
+(* Wait (with timeout) until the daemon's log satisfies [pred]. *)
+let rec await ?(tries = 200) path pred =
+  let text = try read_file path with Sys_error _ -> "" in
+  if pred text then text
+  else if tries = 0 then Alcotest.failf "timed out waiting; log so far:\n%s" text
+  else begin
+    Unix.sleepf 0.05;
+    await ~tries:(tries - 1) path pred
+  end
+
+let test_serve_daemon_e2e () =
+  (* Full lifecycle: start the daemon on an ephemeral port, stream a
+     cycle over POST /ingest, confirm the windowed flow and the
+     pattern alert, scrape the serve gauges, then shut down cleanly
+     with SIGTERM. *)
+  let log = Filename.temp_file "tinflow_serve" ".log" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove log with Sys_error _ -> ())
+    (fun () ->
+      let err_fd = Unix.openfile log [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+      let pid =
+        Unix.create_process exe
+          [|
+            exe; "serve"; "--source"; "0"; "--sink"; "2"; "--window"; "100"; "--cadence";
+            "2"; "--pattern"; "p2"; "--min-flow"; "1"; "--log-json";
+          |]
+          Unix.stdin Unix.stdout err_fd
+      in
+      Unix.close err_fd;
+      let killed = ref false in
+      Fun.protect
+        ~finally:(fun () ->
+          if not !killed then begin
+            (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+            ignore (Unix.waitpid [] pid)
+          end)
+        (fun () ->
+          let text = await log (fun t -> contains t "\"event\":\"serve.start\"") in
+          let port =
+            let key = "\"port\":" in
+            match String.index_opt text 'p' with
+            | _ -> (
+                let rec find i =
+                  if i + String.length key > String.length text then
+                    Alcotest.fail "no port in serve.start event"
+                  else if String.sub text i (String.length key) = key then begin
+                    let stop = ref (i + String.length key) in
+                    while
+                      !stop < String.length text
+                      && text.[!stop] >= '0'
+                      && text.[!stop] <= '9'
+                    do
+                      incr stop
+                    done;
+                    int_of_string (String.sub text (i + String.length key) (!stop - i - String.length key))
+                  end
+                  else find (i + 1)
+                in
+                find 0)
+          in
+          (* Stream a 2-cycle: source feeds 0->1->2 (flow 4) and 1->0
+             returns 3, so P2 alerts on the cadence tick. *)
+          let body =
+            "{\"src\":0,\"dst\":1,\"time\":1,\"qty\":5}\n\
+             {\"src\":1,\"dst\":0,\"time\":2,\"qty\":3}\n\
+             {\"src\":1,\"dst\":2,\"time\":3,\"qty\":4}\n"
+          in
+          let resp =
+            http_request ~port
+              (Printf.sprintf
+                 "POST /ingest HTTP/1.1\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+                 (String.length body) body)
+          in
+          Alcotest.(check bool) "ingest 200" true (contains resp "HTTP/1.1 200");
+          Alcotest.(check bool) "all accepted" true (contains resp "\"accepted\":3");
+          (* The daemon's reported flow equals the batch greedy value:
+             0->1 delivers 5 at t=1, the return 1->0 drains 3 at t=2,
+             so 1->2 can only relay the remaining 2 at t=3. *)
+          let status =
+            http_request ~port "GET /status HTTP/1.1\r\nConnection: close\r\n\r\n"
+          in
+          Alcotest.(check bool) "windowed flow exact" true (contains status "\"flow\":2");
+          (* The new serve gauges are in the Prometheus exposition. *)
+          let metrics =
+            http_request ~port "GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n"
+          in
+          Alcotest.(check bool) "ingested counter" true
+            (contains metrics "serve_ingested_total 3");
+          Alcotest.(check bool) "window gauge" true
+            (contains metrics "serve_window_interactions 3");
+          Alcotest.(check bool) "lag gauge present" true
+            (contains metrics "serve_ingest_lag_seconds");
+          Alcotest.(check bool) "rows gauge present" true
+            (contains metrics "serve_rows_recomputed_total");
+          (* Clean shutdown on SIGTERM. *)
+          Unix.kill pid Sys.sigterm;
+          let _, wstatus = Unix.waitpid [] pid in
+          killed := true;
+          (match wstatus with
+          | Unix.WEXITED 0 -> ()
+          | Unix.WEXITED n -> Alcotest.failf "serve exited %d" n
+          | Unix.WSIGNALED n -> Alcotest.failf "serve killed by signal %d" n
+          | Unix.WSTOPPED n -> Alcotest.failf "serve stopped by signal %d" n);
+          let final = read_file log in
+          Alcotest.(check bool) "pattern alert emitted" true
+            (contains final "\"event\":\"serve.alert\"");
+          Alcotest.(check bool) "alert names P2" true (contains final "\"pattern\":\"P2\"");
+          Alcotest.(check bool) "clean stop event" true
+            (contains final "\"event\":\"serve.stop\"")))
+
 let test_convert_roundtrip () =
   let snap = Filename.temp_file "tinflow_conv" ".tinb" in
   let back = Filename.temp_file "tinflow_conv" ".csv" in
@@ -315,6 +452,7 @@ let () =
               Alcotest.test_case "verify single network" `Quick test_verify_single_network;
               Alcotest.test_case "log-json events" `Quick test_log_json;
               Alcotest.test_case "listen announces port" `Quick test_listen_announces_port;
+              Alcotest.test_case "serve daemon end to end" `Quick test_serve_daemon_e2e;
               Alcotest.test_case "convert round-trip" `Quick test_convert_roundtrip;
               Alcotest.test_case "convert bad output format" `Quick test_convert_bad_input;
               Alcotest.test_case "bench-check gate" `Quick test_bench_check;

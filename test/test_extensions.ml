@@ -121,6 +121,48 @@ let prop_online_matches_batch rng =
   Array.iter (fun (src, dst, i) -> ignore (Online.push m ~src ~dst i)) (Graph.interactions_sorted g);
   Fcmp.approx_eq ~eps:1e-9 (Greedy.flow g ~source ~sink) (Online.flow m)
 
+(* The window-rebuild path of the streaming daemon: replaying in
+   canonical order must reproduce the batch greedy flow bit for bit
+   (same float operation sequence — Float.equal, not approx). *)
+let prop_of_graph_bit_identical rng =
+  let g, source, sink = Gen.random_digraph rng in
+  let m = Online.of_graph g ~source ~sink in
+  Float.equal (Greedy.flow g ~source ~sink) (Online.flow m)
+
+(* Documented counterexample: the bit-exact equivalence holds only for
+   the canonical (time, qty, src, dst) arrival order.  Two same-instant
+   sends from one vertex arriving in the other order yield a different
+   (still legal) greedy value, because a sender's availability
+   decreases immediately within the instant. *)
+let test_online_same_instant_order_dependent () =
+  (* s=0 -> a=1 at t=0 (qty 5); a -> b=2 and a -> c=3 both at t=1
+     (qty 4 and 3); sink is b.  Canonical order pushes a->b (qty 3 <
+     4?  no: qty orders 3 before 4, i.e. a->c first), leaving 2 for
+     a->b. *)
+  let i time qty = Interaction.make ~time ~qty in
+  let push m (src, dst, inter) = ignore (Online.push m ~src ~dst inter) in
+  let canonical = [ (0, 1, i 0.0 5.0); (1, 3, i 1.0 3.0); (1, 2, i 1.0 4.0) ] in
+  let swapped = [ (0, 1, i 0.0 5.0); (1, 2, i 1.0 4.0); (1, 3, i 1.0 3.0) ] in
+  let flow_of order =
+    let m = Online.create ~source:0 ~sink:2 in
+    List.iter (push m) order;
+    ignore (Online.push m ~src:3 ~dst:4 (i 2.0 1.0));
+    (* advance past t=1 *)
+    Online.flow m
+  in
+  let g =
+    List.fold_left
+      (fun g (src, dst, inter) -> Graph.add_interaction g ~src ~dst inter)
+      Graph.empty
+      (canonical @ [ (3, 4, [ i 2.0 1.0 ] |> List.hd) ])
+  in
+  (* Canonical arrival order reproduces the batch value... *)
+  Check.check_flow "canonical = batch" (Greedy.flow g ~source:0 ~sink:2) (flow_of canonical);
+  Check.check_flow "canonical order: qty-3 send drains first" 2.0 (flow_of canonical);
+  (* ... while the same multiset of interactions in another legal
+     (non-decreasing) order legitimately diverges. *)
+  Check.check_flow "swapped order: qty-4 send drains first" 4.0 (flow_of swapped)
+
 let prop_online_buffers_match rng =
   let g, source, sink = Gen.random_digraph rng in
   let m = Online.create ~source ~sink in
@@ -293,6 +335,9 @@ let () =
           Alcotest.test_case "strict same instant" `Quick test_online_strict_same_instant;
           Alcotest.test_case "ordering enforced" `Quick test_online_rejects_out_of_order;
           Check.seeded_property "streaming = batch greedy" prop_online_matches_batch;
+          Check.seeded_property "of_graph replay bit-identical" prop_of_graph_bit_identical;
+          Alcotest.test_case "same-instant order dependence" `Quick
+            test_online_same_instant_order_dependent;
           Check.seeded_property ~count:100 "streaming buffers match" prop_online_buffers_match;
         ] );
       ( "buffer-caps",

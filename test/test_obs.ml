@@ -785,6 +785,148 @@ let test_scrape_concurrent_with_map_reduce () =
           Alcotest.(check bool) "reads bounded by the total" true
             (List.for_all (fun v -> v >= 0.0 && v <= float_of_int n) reads)))
 
+(* --- serve robustness: dirty disconnects, idle peers, POST --------- *)
+
+(* A peer that resets the connection after one byte of the response
+   must not kill the process (SIGPIPE regression: the first write
+   after the RST raises ECONNRESET, a subsequent one EPIPE — which is
+   fatal unless SIGPIPE is ignored). *)
+let test_dirty_disconnect_survives () =
+  with_enabled (fun () ->
+      let srv = Tin_obs.Serve.start ~addr:"127.0.0.1" ~port:0 () in
+      Fun.protect
+        ~finally:(fun () -> Tin_obs.Serve.stop srv)
+        (fun () ->
+          let port = Tin_obs.Serve.port srv in
+          (* Plant a bulky metric set so the response spans several
+             writes and the server keeps writing after the reset. *)
+          for i = 1 to 200 do
+            Obs.Counter.add (Obs.Counter.make (Printf.sprintf "test.dirty.bulk%03d" i)) i
+          done;
+          for _ = 1 to 20 do
+            let sock = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+            (try
+               Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+               let req = Bytes.of_string "GET /metrics HTTP/1.1\r\n\r\n" in
+               ignore (Unix.write sock req 0 (Bytes.length req));
+               (* Read one byte so the response is mid-flight, then
+                  RST the connection (SO_LINGER 0 close). *)
+               ignore (Unix.read sock (Bytes.create 1) 0 1);
+               Unix.setsockopt_optint sock Unix.SO_LINGER (Some 0)
+             with Unix.Unix_error _ -> ());
+            (try Unix.close sock with Unix.Unix_error _ -> ())
+          done;
+          (* The server must still answer a full scrape. *)
+          let metrics = http_get ~port "/metrics" in
+          Alcotest.(check bool) "server alive after 20 dirty closes" true
+            (String.starts_with ~prefix:"HTTP/1.1 200" metrics);
+          Alcotest.(check bool) "scrape complete" true
+            (scrape_value metrics "test_dirty_bulk200" = Some 200.0)))
+
+(* An idle peer gets no response at all — the timeout is not
+   misclassified as a malformed request (no 400 written into a
+   possibly-dead socket). *)
+let test_idle_peer_gets_no_response () =
+  with_enabled (fun () ->
+      let srv = Tin_obs.Serve.start ~addr:"127.0.0.1" ~port:0 ~read_timeout:0.2 () in
+      Fun.protect
+        ~finally:(fun () -> Tin_obs.Serve.stop srv)
+        (fun () ->
+          let port = Tin_obs.Serve.port srv in
+          let sock = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+          Fun.protect
+            ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+            (fun () ->
+              Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+              (* Send nothing; the server should close without writing. *)
+              let got = Unix.read sock (Bytes.create 64) 0 64 in
+              Alcotest.(check int) "no response bytes to an idle peer" 0 got);
+          (* A half request (no terminator) also times out silently. *)
+          let sock = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+          Fun.protect
+            ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+            (fun () ->
+              Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+              let req = Bytes.of_string "GET /metrics HTTP/1.1\r\n" in
+              ignore (Unix.write sock req 0 (Bytes.length req));
+              let got = Unix.read sock (Bytes.create 64) 0 64 in
+              Alcotest.(check int) "no response to a half request" 0 got);
+          (* Genuinely malformed input is still answered 400. *)
+          let bad = http_get ~port "%%%" in
+          Alcotest.(check bool) "malformed still 400" true
+            (String.starts_with ~prefix:"HTTP/1.1 400" bad
+            || String.starts_with ~prefix:"HTTP/1.1 404" bad);
+          let metrics = http_get ~port "/metrics" in
+          Alcotest.(check bool) "server still serves" true
+            (String.starts_with ~prefix:"HTTP/1.1 200" metrics)))
+
+let http_post ~port path body =
+  let sock = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let req =
+        Printf.sprintf
+          "POST %s HTTP/1.1\r\nHost: localhost\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+          path (String.length body) body
+      in
+      let payload = Bytes.of_string req in
+      let off = ref 0 in
+      while !off < Bytes.length payload do
+        off := !off + Unix.write sock payload !off (Bytes.length payload - !off)
+      done;
+      let buf = Bytes.create 4096 in
+      let acc = Buffer.create 1024 in
+      let rec drain () =
+        let got = Unix.read sock buf 0 (Bytes.length buf) in
+        if got > 0 then begin
+          Buffer.add_subbytes acc buf 0 got;
+          drain ()
+        end
+      in
+      drain ();
+      Buffer.contents acc)
+
+let test_post_routes_and_bounded_body () =
+  with_enabled (fun () ->
+      let echoed = ref [] in
+      let routes =
+        [
+          ( `POST,
+            "/echo",
+            fun ~body ->
+              echoed := body :: !echoed;
+              {
+                Tin_obs.Serve.code = 200;
+                content_type = "text/plain";
+                body = string_of_int (String.length body);
+              } );
+        ]
+      in
+      let srv = Tin_obs.Serve.start ~addr:"127.0.0.1" ~port:0 ~max_body:64 ~routes () in
+      Fun.protect
+        ~finally:(fun () -> Tin_obs.Serve.stop srv)
+        (fun () ->
+          let port = Tin_obs.Serve.port srv in
+          let ok = http_post ~port "/echo" "hello body" in
+          Alcotest.(check bool) "registered POST answers" true
+            (String.starts_with ~prefix:"HTTP/1.1 200" ok);
+          Alcotest.(check (list string)) "handler saw the body" [ "hello body" ] !echoed;
+          (* Declared body above max_body: 413, handler not invoked. *)
+          let big = http_post ~port "/echo" (String.make 100 'x') in
+          Alcotest.(check bool) "oversized body rejected" true
+            (String.starts_with ~prefix:"HTTP/1.1 413" big);
+          Alcotest.(check int) "handler not invoked for 413" 1 (List.length !echoed);
+          (* Wrong method on a known path: 405. *)
+          let wrong = http_get ~port "/echo" in
+          Alcotest.(check bool) "GET on POST-only path is 405" true
+            (String.starts_with ~prefix:"HTTP/1.1 405" wrong);
+          (* Built-in routes still reachable alongside user routes. *)
+          let metrics = http_get ~port "/metrics" in
+          Alcotest.(check bool) "metrics still served" true
+            (String.starts_with ~prefix:"HTTP/1.1 200" metrics)))
+
 (* --- exporter escaping round-trip ---------------------------------- *)
 
 (* Arbitrary printable metric names (quotes, backslashes, newlines,
@@ -842,6 +984,12 @@ let () =
           Alcotest.test_case "scrape endpoint" `Quick test_scrape_endpoint;
           Alcotest.test_case "concurrent scrape during map_reduce" `Quick
             test_scrape_concurrent_with_map_reduce;
+          Alcotest.test_case "dirty disconnect survives (SIGPIPE)" `Quick
+            test_dirty_disconnect_survives;
+          Alcotest.test_case "idle peer gets no response" `Quick
+            test_idle_peer_gets_no_response;
+          Alcotest.test_case "POST routes and bounded body" `Quick
+            test_post_routes_and_bounded_body;
         ] );
       ( "export",
         [

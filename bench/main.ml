@@ -12,12 +12,15 @@
    --load-json for the CSV-vs-snapshot load benchmark (default:
    BENCH_load.json, written by the load target); --ingest-json for the
    streaming-daemon throughput benchmark (default: BENCH_ingest.json,
-   written by the ingest target). *)
+   written by the ingest target); --provenance-json for the
+   provenance-scan benchmark (default: BENCH_provenance.json, written
+   by the provenance target). *)
 
 let known_targets =
   [
     "table4"; "table5"; "table6"; "table7"; "table8"; "figure11"; "table9"; "table10"; "table11";
-    "flows"; "patterns"; "micro"; "ablation"; "sweep"; "solvers"; "obs"; "load"; "ingest"; "all";
+    "flows"; "patterns"; "micro"; "ablation"; "sweep"; "solvers"; "obs"; "load"; "ingest";
+    "provenance"; "all";
   ]
 
 let usage () =
@@ -32,6 +35,7 @@ let () =
   let pattern_json = ref "BENCH_pattern.json" in
   let load_json = ref "BENCH_load.json" in
   let ingest_json = ref "BENCH_ingest.json" in
+  let provenance_json = ref "BENCH_provenance.json" in
   let rec strip = function
     | "--json" :: path :: rest ->
         json := path;
@@ -45,7 +49,12 @@ let () =
     | "--ingest-json" :: path :: rest ->
         ingest_json := path;
         strip rest
-    | [ "--json" ] | [ "--pattern-json" ] | [ "--load-json" ] | [ "--ingest-json" ] -> usage ()
+    | "--provenance-json" :: path :: rest ->
+        provenance_json := path;
+        strip rest
+    | [ "--json" ] | [ "--pattern-json" ] | [ "--load-json" ] | [ "--ingest-json" ]
+    | [ "--provenance-json" ] ->
+        usage ()
     | a :: rest -> a :: strip rest
     | [] -> []
   in
@@ -133,6 +142,12 @@ let () =
   end;
   if wants "ingest" then begin
     Ingest_bench.run ~json:!ingest_json ~scale_name:(if quick then "quick" else "full") ~quick ();
+    print_newline ()
+  end;
+  if wants "provenance" then begin
+    Provenance_bench.run ~json:!provenance_json
+      ~scale_name:(if quick then "quick" else "full")
+      ~quick ();
     print_newline ()
   end;
   if wants "micro" || List.mem "all" targets then Micro.run datasets;

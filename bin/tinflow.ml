@@ -418,6 +418,55 @@ let paths_cmd =
     (Cmd.info "paths" ~doc:"Decompose the maximum flow into temporal source-to-sink routes")
     Term.(const run $ file_arg $ source $ sink $ top $ obs_term)
 
+(* --- provenance (origin attribution) --- *)
+
+let provenance_cmd =
+  let module Prov = Tin_core.Provenance in
+  let sink = Arg.(required & opt (some int) None & info [ "sink"; "t" ] ~docv:"VERTEX" ~doc:"The vertex under investigation: report where its buffered quantity came from.") in
+  let source = Arg.(value & opt (some int) None & info [ "source"; "s" ] ~docv:"VERTEX" ~doc:"Optional source vertex: restrict attribution to quantity rooted at this vertex (mirrors the greedy flow exactly; default is open-world, every interaction can originate mass).") in
+  let policy =
+    let policy_conv =
+      Arg.conv
+        ( (fun s ->
+            match Prov.policy_of_string s with
+            | Some p -> Ok p
+            | None -> Error (`Msg (Printf.sprintf "unknown policy %S (expected lrb, mrb or prop)" s))),
+          fun ppf p -> Format.pp_print_string ppf (Prov.policy_name p) )
+    in
+    Arg.(value & opt policy_conv Prov.Proportional & info [ "policy" ] ~docv:"POLICY" ~doc:"Selection policy: $(b,lrb) (least recently born moves first), $(b,mrb) (most recently born first) or $(b,prop) (proportional, order-insensitive; default).")
+  in
+  let top = Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc:"Show the N heaviest origins (default 10).") in
+  let budget = Arg.(value & opt int Prov.default_budget & info [ "budget" ] ~docv:"N" ~doc:"Per-buffer provenance entry budget; buffers over it spill to coarser origin groups (default 64).") in
+  let run file source sink policy top budget obs =
+    setup_logs ();
+    with_obs obs @@ fun () ->
+    let g = load_graph file in
+    if not (Graph.mem_vertex g sink) then begin
+      Printf.eprintf "tinflow provenance: vertex %d is not in the network\n" sink;
+      1
+    end
+    else begin
+      let r = Prov.run ~policy ~budget ?source ~absorb:sink g in
+      let total = List.assoc sink r.Prov.totals in
+      let vec = List.assoc sink r.Prov.vectors in
+      Printf.printf "provenance of vertex %d (%s policy%s)\n" sink (Prov.policy_name policy)
+        (match source with Some s -> Printf.sprintf ", rooted at %d" s | None -> "");
+      Printf.printf "buffered quantity: %g across %d origin group(s)\n" total (List.length vec);
+      List.filteri (fun i _ -> i < top) vec
+      |> List.iter (fun (o, m) ->
+             let share = if total > 0.0 then 100.0 *. m /. total else 0.0 in
+             Printf.printf "  %-12g %5.1f%%  %s\n" m share (Prov.describe_origin o));
+      if List.length vec > top then
+        Printf.printf "  ... and %d more origin group(s)\n" (List.length vec - top);
+      Printf.printf "spills: %d, peak entries: %d\n" r.Prov.spills r.Prov.peak_entries;
+      0
+    end
+  in
+  Cmd.v
+    (Cmd.info "provenance"
+       ~doc:"Attribute a vertex's buffered quantity back to the interactions it was born at")
+    Term.(const run $ file_arg $ source $ sink $ policy $ top $ budget $ obs_term)
+
 (* --- profile --- *)
 
 let profile_cmd =
@@ -871,11 +920,12 @@ let bench_check_cmd =
   let files =
     Arg.(
       value
-      & pos_all string [ "BENCH_flow.json"; "BENCH_pattern.json"; "BENCH_ingest.json" ]
+      & pos_all string
+          [ "BENCH_flow.json"; "BENCH_pattern.json"; "BENCH_ingest.json"; "BENCH_provenance.json" ]
       & info [] ~docv:"BENCH.json"
           ~doc:
             "Benchmark documents to check (default: BENCH_flow.json BENCH_pattern.json \
-             BENCH_ingest.json in the current directory).")
+             BENCH_ingest.json BENCH_provenance.json in the current directory).")
   in
   let baseline =
     Arg.(
@@ -1021,6 +1071,7 @@ let () =
             flow_cmd;
             batch_cmd;
             paths_cmd;
+            provenance_cmd;
             profile_cmd;
             patterns_cmd;
             serve_cmd;

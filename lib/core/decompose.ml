@@ -2,10 +2,44 @@ module TE = Tin_maxflow.Time_expand
 module Net = Tin_maxflow.Net
 module Dinic = Tin_maxflow.Dinic
 
-type leg = { src : Graph.vertex; dst : Graph.vertex; time : float; offered : float }
+type leg = {
+  src : Graph.vertex;
+  dst : Graph.vertex;
+  time : float;
+  offered : float;
+  inter : int;
+}
+
 type path = { legs : leg list; amount : float }
 
+type usage = {
+  u_inter : int;
+  u_src : Graph.vertex;
+  u_dst : Graph.vertex;
+  u_time : float;
+  u_offered : float;
+  u_carried : float;
+}
+
 let eps = Tin_util.Fcmp.(default_policy.pivot_eps)
+
+(* Interactions are numbered in the global scan order — sort the
+   expanded network's interaction arcs with the same comparator as
+   [Graph.interactions_sorted] (and the [Compact] table): time, then
+   quantity, then src, then dst.  Fully identical interactions compare
+   equal; their ids are interchangeable because every observable field
+   coincides. *)
+let number_interactions interaction_arcs =
+  let a = Array.of_list interaction_arcs in
+  Array.sort
+    (fun (_, (s1, d1, i1)) (_, (s2, d2, i2)) ->
+      match Interaction.compare i1 i2 with
+      | 0 -> ( match Int.compare s1 s2 with 0 -> Int.compare d1 d2 | c -> c)
+      | c -> c)
+    a;
+  let info = Hashtbl.create 256 in
+  Array.iteri (fun k (arc, (src, dst, i)) -> Hashtbl.replace info arc (k, src, dst, i)) a;
+  info
 
 let max_flow_paths g ~source ~sink =
   let te = TE.build g ~source ~sink in
@@ -14,8 +48,7 @@ let max_flow_paths g ~source ~sink =
   (* Remaining (not yet peeled) flow per forward arc, and the
      interaction each arc realises (holdover arcs map to None). *)
   let remaining = Hashtbl.create 256 in
-  let info = Hashtbl.create 256 in
-  List.iter (fun (a, i) -> Hashtbl.replace info a i) te.TE.interaction_arcs;
+  let info = number_interactions te.TE.interaction_arcs in
   let n_arcs = Net.n_arcs net in
   for k = 0 to n_arcs - 1 do
     let a = 2 * k in
@@ -40,21 +73,34 @@ let max_flow_paths g ~source ~sink =
     in
     first (match Hashtbl.find_opt adj node with Some l -> l | None -> [])
   in
-  (* Walk S -> T along positive arcs (the expanded graph is a DAG, so
-     any greedy walk reaches T while S still has outgoing flow). *)
+  (* Walk S -> T along positive arcs.  The expanded graph is a DAG, so
+     a walk either reaches T or dead-ends at a node whose outgoing
+     remaining flow has leaked away (arcs at or below [eps] are dropped
+     when [remaining] is built and when peeling decrements them, so a
+     node's recorded inflow can exceed its recorded outflow by a few
+     eps-sized crumbs). *)
   let rec walk node acc bottleneck =
-    if node = te.TE.sink_node then Some (List.rev acc, bottleneck)
+    if node = te.TE.sink_node then `Complete (List.rev acc, bottleneck)
     else
       match pick_arc node with
-      | None -> None (* numerical crumbs: abandon this walk *)
+      | None -> `Stuck acc (* reversed: head = arc into the dead end *)
       | Some (a, f) -> walk (Net.dst net a) (a :: acc) (Float.min bottleneck f)
   in
   let paths = ref [] in
   let continue = ref true in
   while !continue do
     match walk te.TE.source_node [] infinity with
-    | None -> continue := false
-    | Some (arcs, bottleneck) when bottleneck > eps ->
+    | `Stuck [] -> continue := false (* source exhausted: decomposition done *)
+    | `Stuck (last :: _) ->
+        (* A dead end strands the crumbs carried by the arc leading into
+           it: no later walk can extend past that node either (remaining
+           flow only decreases), so discard the arc and keep peeling the
+           other paths.  Stopping the whole loop here — the old
+           behaviour — abandoned arbitrarily large flow still waiting on
+           sibling branches. *)
+        Hashtbl.remove remaining last;
+        continue := true
+    | `Complete (arcs, bottleneck) when bottleneck > eps ->
         List.iter
           (fun a ->
             let f = Hashtbl.find remaining a in
@@ -65,25 +111,46 @@ let max_flow_paths g ~source ~sink =
           List.filter_map
             (fun a ->
               match Hashtbl.find_opt info a with
-              | Some (src, dst, i) ->
-                  Some { src; dst; time = Interaction.time i; offered = Interaction.qty i }
+              | Some (inter, src, dst, i) ->
+                  Some
+                    { src; dst; time = Interaction.time i; offered = Interaction.qty i; inter }
               | None -> None (* holdover arc: waiting, not a transfer *))
             arcs
         in
         paths := { legs; amount = bottleneck } :: !paths
-    | Some _ -> continue := false
+    | `Complete (arcs, _) ->
+        (* Unreachable today ([pick_arc] only returns arcs above [eps],
+           so a complete walk's bottleneck exceeds [eps]), but kept as a
+           progress guarantee: drop the bottleneck-sized arcs instead of
+           aborting the loop. *)
+        List.iter
+          (fun a ->
+            match Hashtbl.find_opt remaining a with
+            | Some f when f <= eps -> Hashtbl.remove remaining a
+            | _ -> ())
+          arcs
   done;
   (value, List.rev !paths)
 
 let per_interaction paths =
-  let tbl = Hashtbl.create 64 in
+  let tbl : (int, usage) Hashtbl.t = Hashtbl.create 64 in
   List.iter
     (fun p ->
       List.iter
         (fun leg ->
-          let key = (leg.src, leg.dst, leg.time) in
-          let prev = Option.value ~default:0.0 (Hashtbl.find_opt tbl key) in
-          Hashtbl.replace tbl key (prev +. p.amount))
+          match Hashtbl.find_opt tbl leg.inter with
+          | Some u -> Hashtbl.replace tbl leg.inter { u with u_carried = u.u_carried +. p.amount }
+          | None ->
+              Hashtbl.replace tbl leg.inter
+                {
+                  u_inter = leg.inter;
+                  u_src = leg.src;
+                  u_dst = leg.dst;
+                  u_time = leg.time;
+                  u_offered = leg.offered;
+                  u_carried = p.amount;
+                })
         p.legs)
     paths;
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+  Hashtbl.fold (fun _ u acc -> u :: acc) tbl []
+  |> List.sort (fun a b -> Int.compare a.u_inter b.u_inter)

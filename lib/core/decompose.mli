@@ -17,23 +17,42 @@ type leg = {
   dst : Graph.vertex;
   time : float;
   offered : float;  (** The interaction's full quantity. *)
+  inter : int;
+      (** Identity of the carrying interaction: its index in the
+          global scan order (time, quantity, src, dst — the order of
+          [Graph.interactions_sorted] and of the [Compact] table).
+          Distinguishes parallel interactions that share src, dst and
+          timestamp. *)
 }
 (** One interaction used by a path (possibly partially). *)
 
 type path = { legs : leg list; amount : float }
 (** A temporal source→sink route carrying [amount]. *)
 
+type usage = {
+  u_inter : int;  (** Scan-order interaction index (see {!leg.inter}). *)
+  u_src : Graph.vertex;
+  u_dst : Graph.vertex;
+  u_time : float;
+  u_offered : float;  (** The interaction's full quantity. *)
+  u_carried : float;  (** Total carried across all paths. *)
+}
+(** Aggregated usage of one {e individual} interaction. *)
+
 val max_flow_paths :
   Graph.t -> source:Graph.vertex -> sink:Graph.vertex -> float * path list
 (** [(value, paths)] where [value] is the maximum flow and the paths
-    partition it: amounts sum to [value], each path's legs are
+    decompose it: amounts sum to [value] up to numerical crumbs (at
+    most [eps] per expanded arc, where [eps] is
+    {!Tin_util.Fcmp.default_policy}[.pivot_eps]), each path's legs are
     time-increasing, start at the source and end at the sink, and no
     interaction carries more (across all paths) than its quantity.
     Runs Dinic on the time-expanded network and peels paths off the
-    positive-flow DAG. *)
+    positive-flow DAG; dead-ended walks discard only the stranded arc
+    and peeling continues until the source is exhausted. *)
 
-val per_interaction :
-  path list -> ((Graph.vertex * Graph.vertex * float) * float) list
-(** Total carried quantity per interaction [(src, dst, time)],
-    aggregated over paths, in deterministic order.  Interactions of
-    the same edge that share a timestamp aggregate under one key. *)
+val per_interaction : path list -> usage list
+(** Total carried quantity per {e individual} interaction, aggregated
+    over paths and keyed by interaction identity ({!leg.inter}), in
+    scan order.  Parallel interactions sharing [(src, dst, time)] stay
+    separate — each reports its own [u_offered] and [u_carried]. *)

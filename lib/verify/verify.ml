@@ -3,6 +3,8 @@ module Prng = Tin_util.Prng
 module Obs = Tin_obs.Obs
 module TE = Tin_maxflow.Time_expand
 module Greedy = Tin_core.Greedy
+module Decompose = Tin_core.Decompose
+module Provenance = Tin_core.Provenance
 module Lp_flow = Tin_core.Lp_flow
 module Pipeline = Tin_core.Pipeline
 module Preprocess = Tin_core.Preprocess
@@ -144,6 +146,7 @@ let oracle_names =
   @ List.map fst lp_solvers
   @ List.map fst te_algos
   @ [ "pipeline:pre"; "pipeline:presim"; "lp:c"; "te:c" ]
+  @ [ "decomp"; "prov:lrb"; "prov:mrb"; "prov:prop" ]
 
 let check ?(policy = Fcmp.default_policy) ?(extra = []) g ~source ~sink =
   let eps = policy.Fcmp.flow_eps in
@@ -301,6 +304,163 @@ let check ?(policy = Fcmp.default_policy) ?(extra = []) g ~source ~sink =
           bit_identical "te:c" v "te:dinic";
           record "te:c" v
       | None -> ());
+  (* Flow decomposition: the peeled path amounts must reassemble the
+     max-flow value (allowing eps-sized numerical crumbs per path),
+     every path must be a temporal source->sink route, and no
+     individual interaction — parallel same-timestamp interactions
+     included — may carry more than its own quantity. *)
+  (match guarded "decomp" (fun () -> Decompose.max_flow_paths g ~source ~sink) with
+  | None -> ()
+  | Some (value, paths) ->
+      let n_paths = List.length paths in
+      let total = List.fold_left (fun acc p -> acc +. p.Decompose.amount) 0.0 paths in
+      if not (Fcmp.approx_eq ~eps:(eps *. float_of_int (max 1 n_paths)) value total) then
+        add "decomp-not-conserving"
+          (Printf.sprintf "%d paths sum to %g but the max flow is %g" n_paths total value);
+      List.iter
+        (fun p ->
+          if not (p.Decompose.amount > 0.0) then
+            add "decomp-nonpositive-path"
+              (Printf.sprintf "path carries %g" p.Decompose.amount);
+          match p.Decompose.legs with
+          | [] -> add "decomp-empty-path" "path has no legs"
+          | legs ->
+              if (List.hd legs).Decompose.src <> source then
+                add "decomp-anchor" "path does not start at the source";
+              if (List.nth legs (List.length legs - 1)).Decompose.dst <> sink then
+                add "decomp-anchor" "path does not end at the sink";
+              let rec increasing = function
+                | a :: (b :: _ as rest) ->
+                    a.Decompose.time < b.Decompose.time && increasing rest
+                | _ -> true
+              in
+              if not (increasing legs) then
+                add "decomp-not-temporal" "legs are not strictly time-increasing")
+        paths;
+      List.iter
+        (fun u ->
+          if
+            Float.is_finite u.Decompose.u_offered
+            && not (Fcmp.approx_le ~eps u.Decompose.u_carried u.Decompose.u_offered)
+          then
+            add "decomp-overdriven"
+              (Printf.sprintf "interaction #%d %d->%d@%g carries %g > quantity %g"
+                 u.Decompose.u_inter u.Decompose.u_src u.Decompose.u_dst u.Decompose.u_time
+                 u.Decompose.u_carried u.Decompose.u_offered))
+        (Decompose.per_interaction paths);
+      record "decomp" value);
+  (* Provenance engine, in source-rooted absorb-at-sink mode: the
+     scalar side mirrors the greedy scan exactly, so per-vertex totals
+     must equal [Greedy.buffers] bit for bit (and the sink total the
+     greedy flow) — policy-invariant, Proportional checked against the
+     buffers directly and lrb/mrb against Proportional's totals.  Each
+     policy's vectors must be non-negative, conserve mass per vertex,
+     name only origins the source sent (validated against the fixed
+     scan-order numbering shared with [Decompose.leg.inter]), never
+     attribute more mass to an origin than that interaction's
+     quantity, and be bit-identical across Graph/Compact twins. *)
+  (match greedy with
+  | None -> ()
+  | Some greedy_v ->
+      let inters = Graph.interactions_sorted g in
+      let ref_totals = ref None in
+      List.iter
+        (fun policy ->
+          let name = "prov:" ^ Provenance.policy_name policy in
+          match
+            guarded name (fun () ->
+                let r = Provenance.run ~policy ~source ~absorb:sink g in
+                let rc =
+                  Provenance.run_compact ~policy ~source ~absorb:sink (Compact.of_graph g)
+                in
+                (r, rc))
+          with
+          | None -> ()
+          | Some (r, rc) ->
+              if r <> rc then
+                add "prov-not-bit-identical"
+                  (name ^ " differs between Graph and Compact representations");
+              (match !ref_totals with
+              | None -> ref_totals := Some (name, r.Provenance.totals)
+              | Some (ref_name, ref_t) ->
+                  if
+                    not
+                      (List.for_all2
+                         (fun (v1, t1) (v2, t2) -> v1 = v2 && Float.equal t1 t2)
+                         ref_t r.Provenance.totals)
+                  then
+                    add "prov-policy-total-drift"
+                      (Printf.sprintf "%s totals differ from %s (scalars are policy-invariant)"
+                         name ref_name));
+              if policy = Provenance.Proportional then begin
+                (match List.assoc_opt sink r.Provenance.totals with
+                | Some t when Float.equal t greedy_v -> ()
+                | Some t ->
+                    add "prov-sink-not-greedy"
+                      (Printf.sprintf "%s sink total %.17g but greedy flow %.17g" name t
+                         greedy_v)
+                | None -> add "prov-sink-not-greedy" (name ^ " reports no sink total"));
+                let buffers = Greedy.buffers g ~source ~sink in
+                if
+                  not
+                    (List.for_all2
+                       (fun (v1, t1) (v2, t2) -> v1 = v2 && Float.equal t1 t2)
+                       buffers r.Provenance.totals)
+                then
+                  add "prov-total-mismatch"
+                    (name ^ " per-vertex totals differ from Greedy.buffers")
+              end;
+              List.iter
+                (fun (v, vec) ->
+                  let sum = List.fold_left (fun acc (_, m) -> acc +. m) 0.0 vec in
+                  (match List.assoc_opt v r.Provenance.totals with
+                  | Some t when Float.is_finite t && Float.is_finite sum ->
+                      if not (Fcmp.approx_eq ~eps t sum) then
+                        add "prov-mass-mismatch"
+                          (Printf.sprintf "%s vertex %d holds %g but its vector sums to %g"
+                             name v t sum)
+                  | _ -> ());
+                  List.iter
+                    (fun (o, m) ->
+                      if m < 0.0 then
+                        add "prov-negative"
+                          (Printf.sprintf "%s vertex %d carries %g from %s" name v m
+                             (Provenance.describe_origin o));
+                      match o with
+                      | Provenance.Inter i ->
+                          if i.index < 0 || i.index >= Array.length inters then
+                            add "prov-origin-unknown"
+                              (Printf.sprintf "%s names interaction #%d of %d" name i.index
+                                 (Array.length inters))
+                          else begin
+                            let s, d, it = inters.(i.index) in
+                            if
+                              not
+                                (s = i.src && d = i.dst
+                                && Float.equal (Interaction.time it) i.time
+                                && Float.equal (Interaction.qty it) i.qty)
+                            then
+                              add "prov-origin-identity"
+                                (Printf.sprintf "%s origin #%d does not match scan order" name
+                                   i.index);
+                            if s <> source then
+                              add "prov-foreign-origin"
+                                (Printf.sprintf
+                                   "%s attributes mass to #%d sent by %d, not the source" name
+                                   i.index s);
+                            if
+                              Float.is_finite m
+                              && Float.is_finite i.qty
+                              && not (Fcmp.approx_le ~eps m i.qty)
+                            then
+                              add "prov-origin-capacity"
+                                (Printf.sprintf "%s vertex %d holds %g from #%d of quantity %g"
+                                   name v m i.index i.qty)
+                          end
+                      | _ -> ())
+                    vec)
+                r.Provenance.vectors)
+        [ Provenance.Proportional; Provenance.Lrb; Provenance.Mrb ]);
   let maxes = List.rev !values in
   (match greedy with Some gv -> record "greedy" gv | None -> ());
   (* Pairwise agreement of all maximum-flow oracles under the shared

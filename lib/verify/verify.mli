@@ -17,6 +17,17 @@
       per-interaction capacity residuals in [0, q], per-vertex temporal
       conservation (cumulative out(≤ τ) ≤ cumulative in(< τ)), and the
       quantity deposited at the sink equals the reported value;
+    - the flow decomposition ({!Tin_core.Decompose}) reassembles the
+      max-flow value from its peeled paths up to eps-sized crumbs per
+      path, every path is a temporal source→sink route, and no
+      individual interaction carries more than its quantity;
+    - the provenance engine ({!Tin_core.Provenance}) in source-rooted
+      mode matches the greedy scan bit for bit on per-vertex totals
+      (all policies), conserves mass per vertex, attributes only
+      origins the source sent — validated against the fixed scan-order
+      interaction numbering shared with {!Tin_core.Decompose} — never
+      exceeds an origin interaction's quantity, and is bit-identical
+      across the [Graph]/[Compact] representations;
     - an oracle raising an exception is itself a discrepancy.
 
     {!fuzz} drives {!check} over randomized instances ({!Gen}), and

@@ -59,6 +59,36 @@ let test_paths () =
   let out = check_ok "paths" (run_capture (Printf.sprintf "paths %s -s 0 -t 1 --top 3" csv)) in
   Alcotest.(check bool) "route summary" true (contains out "temporal routes")
 
+let test_provenance () =
+  (* A fixed miniature network with a known answer: vertex 3 absorbs 6
+     units, 5 of which were born at the 0->1 interaction under every
+     policy's totals (the vectors differ). *)
+  let net = Filename.temp_file "tinflow_prov" ".csv" in
+  Out_channel.with_open_text net (fun oc ->
+      output_string oc "src,dst,time,qty\n0,1,1,5\n2,1,2,3\n1,3,3,6\n");
+  Fun.protect
+    ~finally:(fun () -> Sys.remove net)
+    (fun () ->
+      let out =
+        check_ok "provenance"
+          (run_capture (Printf.sprintf "provenance %s --sink 3 --policy lrb --top 5" net))
+      in
+      Alcotest.(check bool) "header" true (contains out "provenance of vertex 3");
+      Alcotest.(check bool) "policy named" true (contains out "lrb policy");
+      Alcotest.(check bool) "total reported" true (contains out "buffered quantity: 6");
+      Alcotest.(check bool) "origin row" true (contains out "interaction #0 0->1");
+      Alcotest.(check bool) "spill stats" true (contains out "spills: 0");
+      let out2 =
+        check_ok "provenance rooted"
+          (run_capture
+             (Printf.sprintf "provenance %s --sink 3 --source 0 --policy prop" net))
+      in
+      Alcotest.(check bool) "rooted total = greedy" true
+        (contains out2 "buffered quantity: 5");
+      let code, err = run_capture (Printf.sprintf "provenance %s --sink 99" net) in
+      Alcotest.(check bool) "unknown sink rejected" true (code <> 0);
+      Alcotest.(check bool) "unknown sink diagnostic" true (contains err "99"))
+
 let test_profile () =
   let out = check_ok "profile" (run_capture (Printf.sprintf "profile %s -s 0 -t 1 --greedy" csv)) in
   Alcotest.(check bool) "csv header" true (contains out "time,cumulative_flow")
@@ -437,6 +467,7 @@ let () =
                 test_flow_synthetic_endpoints_hint;
               Alcotest.test_case "flow (split, method)" `Quick test_flow_split_and_method;
               Alcotest.test_case "paths" `Quick test_paths;
+              Alcotest.test_case "provenance" `Quick test_provenance;
               Alcotest.test_case "profile" `Quick test_profile;
               Alcotest.test_case "patterns builtin+custom" `Quick test_patterns_builtin_and_custom;
               Alcotest.test_case "patterns precompute" `Quick test_patterns_precompute;

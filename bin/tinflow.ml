@@ -57,6 +57,15 @@ module Event = struct
 
   let emit ?(fields = []) name =
     if !enabled then begin
+      (* Correlate log lines with spans: every event carries the ids
+         of the innermost open span on this domain, when there is
+         one. *)
+      let fields =
+        match Tin_obs.Obs.Span.current_ids () with
+        | Some (trace_id, span_id) ->
+            ("trace_id", str trace_id) :: ("span_id", str span_id) :: fields
+        | None -> fields
+      in
       let b = Buffer.create 128 in
       Printf.bprintf b "{\"event\":%s,\"ts\":%.6f" (str name) (Unix.gettimeofday ());
       List.iter (fun (k, v) -> Printf.bprintf b ",%s:%s" (str k) v) fields;
@@ -89,7 +98,14 @@ let json_reporter () =
 (* --- observability (--metrics / --trace / --log-json, shared by every
        subcommand; --listen on the long-running ones) --- *)
 
-type obs_opts = { metrics : bool; trace : string option; listen : int option; log_json : bool }
+type obs_opts = {
+  metrics : bool;
+  trace : string option;
+  listen : int option;
+  log_json : bool;
+  flight_dump : string option;
+  no_flight : bool;
+}
 
 let obs_term =
   let metrics =
@@ -117,9 +133,29 @@ let obs_term =
             "Emit structured JSON event lines on stderr (run lifecycle, stage progress, log \
              records, counter snapshot) instead of human-formatted logs.")
   in
+  let flight_dump =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flight-dump" ] ~docv:"PREFIX"
+          ~doc:
+            "Path prefix for flight-recorder dump files (default tinflow-flight-<pid>).  The \
+             always-on flight recorder keeps a bounded ring of recent spans per domain and \
+             writes $(docv)-<reason>.json as a Chrome trace on SIGUSR2, on a daemon 5xx \
+             response, and on crash.")
+  in
+  let no_flight =
+    Arg.(
+      value & flag
+      & info [ "no-flight" ]
+          ~doc:
+            "Disarm the flight recorder: no span ring is maintained and no post-mortem dumps \
+             are written.")
+  in
   Term.(
-    const (fun metrics trace log_json -> { metrics; trace; listen = None; log_json })
-    $ metrics $ trace $ log_json)
+    const (fun metrics trace log_json flight_dump no_flight ->
+        { metrics; trace; listen = None; log_json; flight_dump; no_flight })
+    $ metrics $ trace $ log_json $ flight_dump $ no_flight)
 
 (* The long-running subcommands additionally take [--listen]. *)
 let obs_serve_term =
@@ -146,12 +182,41 @@ let counters_json () =
   Buffer.add_char b '}';
   Buffer.contents b
 
-let with_obs o run =
+let with_obs ~cmd o run =
   let module Obs = Tin_obs.Obs in
   if o.log_json then begin
     Event.enabled := true;
     Logs.set_reporter (json_reporter ())
   end;
+  (* Flight recorder: armed by default, independent of --metrics /
+     --trace — the post-mortem black box.  SIGUSR2 dumps it on demand
+     (the handler runs as regular OCaml code between allocations, so
+     writing a file from it is safe); a crash below dumps it too. *)
+  if o.no_flight then Obs.Flight.disarm ();
+  Option.iter Obs.Flight.set_dump_prefix o.flight_dump;
+  if Obs.Flight.armed () then begin
+    match
+      Sys.set_signal Sys.sigusr2
+        (Sys.Signal_handle
+           (fun _ ->
+             let path = Obs.Flight.dump ~reason:"sigusr2" () in
+             Printf.eprintf "tinflow: flight recorder dumped to %s\n%!" path;
+             Event.emit "flight.dump"
+               ~fields:[ ("path", Event.str path); ("reason", Event.str "sigusr2") ]))
+    with
+    | () -> ()
+    | exception (Invalid_argument _ | Sys_error _) -> (* no SIGUSR2 on this platform *) ()
+  end;
+  (* Every subcommand runs under a root request span, so anything the
+     run records (batch chunks, LP solves, catalog searches) stitches
+     into one per-invocation trace tree. *)
+  let run () = Obs.Span.with_root ("tinflow." ^ cmd) run in
+  let crash_dump () =
+    if Obs.Flight.armed () then
+      match Obs.Flight.dump ~reason:"crash" () with
+      | path -> Printf.eprintf "tinflow: flight recorder dumped to %s\n%!" path
+      | exception _ -> ()
+  in
   let server =
     match o.listen with
     | None -> None
@@ -166,7 +231,11 @@ let with_obs o run =
   in
   if o.metrics || o.trace <> None then Obs.enable ();
   let active = o.metrics || o.trace <> None || server <> None in
-  if not (active || o.log_json) then run ()
+  if not (active || o.log_json) then (
+    try run ()
+    with e ->
+      crash_dump ();
+      raise e)
   else begin
     let t0 = Tin_util.Timer.now_ns () in
     Event.emit "run.start"
@@ -199,6 +268,7 @@ let with_obs o run =
         finish (Ok code);
         code
     | exception e ->
+        crash_dump ();
         finish (Error e);
         raise e
   end
@@ -265,7 +335,7 @@ let flow_cmd =
   in
   let run file source sink split meth solver obs =
     setup_logs ();
-    with_obs obs @@ fun () ->
+    with_obs ~cmd:"flow" obs @@ fun () ->
     let g = load_graph file in
     match
       match split with
@@ -335,7 +405,7 @@ let batch_cmd =
   in
   let run file jobs meth solver max_interactions max_subgraphs obs =
     setup_logs ();
-    with_obs obs @@ fun () ->
+    with_obs ~cmd:"batch" obs @@ fun () ->
     if (match jobs with Some j -> j < 1 | None -> false) then begin
       prerr_endline "tinflow: --jobs must be positive";
       exit 2
@@ -395,7 +465,7 @@ let paths_cmd =
   let top = Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc:"Show the N heaviest routes.") in
   let run file source sink top obs =
     setup_logs ();
-    with_obs obs @@ fun () ->
+    with_obs ~cmd:"paths" obs @@ fun () ->
     let g = load_graph file in
     let value, routes = Tin_core.Decompose.max_flow_paths g ~source ~sink in
     Printf.printf "maximum flow: %g across %d temporal routes\n" value (List.length routes);
@@ -439,7 +509,7 @@ let provenance_cmd =
   let budget = Arg.(value & opt int Prov.default_budget & info [ "budget" ] ~docv:"N" ~doc:"Per-buffer provenance entry budget; buffers over it spill to coarser origin groups (default 64).") in
   let run file source sink policy top budget obs =
     setup_logs ();
-    with_obs obs @@ fun () ->
+    with_obs ~cmd:"provenance" obs @@ fun () ->
     let g = load_graph file in
     if not (Graph.mem_vertex g sink) then begin
       Printf.eprintf "tinflow provenance: vertex %d is not in the network\n" sink;
@@ -475,7 +545,7 @@ let profile_cmd =
   let greedy = Arg.(value & flag & info [ "greedy" ] ~doc:"Greedy profile (single scan) instead of per-prefix maximum flows.") in
   let run file source sink greedy obs =
     setup_logs ();
-    with_obs obs @@ fun () ->
+    with_obs ~cmd:"profile" obs @@ fun () ->
     let g = load_graph file in
     let profile =
       if greedy then Tin_core.Window.greedy_profile g ~source ~sink
@@ -527,7 +597,7 @@ let patterns_cmd =
   in
   let run file which custom limit use_pb hybrid jobs time_budget obs =
     setup_logs ();
-    with_obs obs @@ fun () ->
+    with_obs ~cmd:"patterns" obs @@ fun () ->
     (match jobs with
     | Some j when j < 1 ->
         prerr_endline "tinflow: --jobs must be positive";
@@ -659,7 +729,7 @@ let serve_cmd =
   in
   let run base source sink listen window cadence patterns min_flow limit obs =
     setup_logs ();
-    with_obs obs @@ fun () ->
+    with_obs ~cmd:"serve" obs @@ fun () ->
     let base_g = match base with None -> Graph.empty | Some f -> load_graph f in
     let on_alert (a : Daemon.alert) =
       Event.emit "serve.alert"
@@ -689,7 +759,9 @@ let serve_cmd =
         Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
         Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
         while not (Atomic.get stop) do
-          Unix.sleepf 0.05
+          (* A signal (SIGUSR2 flight dump, SIGINT/SIGTERM) can land
+             mid-sleep as EINTR; re-check the flag and keep idling. *)
+          try Unix.sleepf 0.05 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
         done;
         (* Final tick so table state and alerts cover the tail of the
            stream, then report. *)
@@ -759,7 +831,7 @@ let verify_cmd =
   in
   let run network source sink seed cases inject dump obs =
     setup_logs ();
-    with_obs obs @@ fun () ->
+    with_obs ~cmd:"verify" obs @@ fun () ->
     let extra = match inject with None -> [] | Some delta -> [ Verify.perturbed ~delta () ] in
     Option.iter (fun dir -> if not (Sys.file_exists dir) then Sys.mkdir dir 0o755) dump;
     match network with
@@ -838,7 +910,7 @@ let generate_cmd =
   let out = Arg.(required & pos 0 (some string) None & info [] ~docv:"OUT.csv" ~doc:"Output file.") in
   let run out dataset seed factor obs =
     setup_logs ();
-    with_obs obs @@ fun () ->
+    with_obs ~cmd:"generate" obs @@ fun () ->
     let spec =
       Tin_datasets.Spec.scaled ~factor
         (match dataset with
@@ -878,7 +950,7 @@ let convert_cmd =
   in
   let run input output obs =
     setup_logs ();
-    with_obs obs @@ fun () ->
+    with_obs ~cmd:"convert" obs @@ fun () ->
     or_parse_error @@ fun () ->
     let c = Io.load_compact input in
     let summary fmt =
@@ -953,7 +1025,7 @@ let bench_check_cmd =
   in
   let run files baseline tolerance update obs =
     setup_logs ();
-    with_obs obs @@ fun () ->
+    with_obs ~cmd:"bench-check" obs @@ fun () ->
     if tolerance < 0.0 || Float.is_nan tolerance then begin
       prerr_endline "tinflow: --tolerance must be non-negative";
       exit 2
@@ -1043,6 +1115,74 @@ let bench_check_cmd =
           regressions beyond a noise tolerance")
     Term.(const run $ files $ baseline $ tolerance $ update $ obs_term)
 
+(* --- obs report --- *)
+
+let obs_report_cmd =
+  let trace_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE"
+          ~doc:"Exported trace to analyze: a --trace file or a flight-recorder dump.")
+  in
+  let top =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"N" ~doc:"Number of span names in the self-time table.")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Also write the report as JSON (schema tinflow.obs.report/v1) to $(docv); '-' \
+             writes it to stdout instead of the human tables.  The _ms field naming makes a \
+             report diffable with $(b,tinflow bench-check).")
+  in
+  let run trace top json obs =
+    setup_logs ();
+    with_obs ~cmd:"obs.report" obs @@ fun () ->
+    let doc =
+      match Tin_util.Json.parse (In_channel.with_open_bin trace In_channel.input_all) with
+      | Ok doc -> Ok doc
+      | Error e -> Error (trace ^ ": " ^ e)
+      | exception Sys_error msg -> Error msg
+    in
+    match Result.bind doc (Tin_obs.Report.analyze ~top) with
+    | Error msg ->
+        prerr_endline ("tinflow: obs report: " ^ msg);
+        2
+    | Ok report ->
+        (match json with
+        | Some "-" -> print_string (Tin_obs.Report.to_json report)
+        | Some path ->
+            Out_channel.with_open_bin path (fun oc ->
+                Out_channel.output_string oc (Tin_obs.Report.to_json report));
+            print_string (Tin_obs.Report.render report);
+            Printf.eprintf "tinflow: report written to %s\n%!" path
+        | None -> print_string (Tin_obs.Report.render report));
+        (* Broken stitching is a finding, not a formatting detail:
+           surface it in the exit code so CI can assert on it. *)
+        if report.Tin_obs.Report.orphans > 0 then begin
+          Printf.eprintf "tinflow: obs report: %d orphaned span(s) (parent chain broken)\n%!"
+            report.Tin_obs.Report.orphans;
+          1
+        end
+        else 0
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Analyze an exported trace: critical path, per-domain utilization, batch chunk \
+          balance, top span self-times")
+    Term.(const run $ trace_arg $ top $ json_out $ obs_term)
+
+let obs_cmd =
+  Cmd.group
+    (Cmd.info "obs" ~doc:"Observability tooling (offline trace analysis)")
+    [ obs_report_cmd ]
+
 (* --- dot --- *)
 
 let dot_cmd =
@@ -1050,7 +1190,7 @@ let dot_cmd =
   let sink = Arg.(value & opt (some int) None & info [ "sink" ] ~docv:"V" ~doc:"Highlight as sink.") in
   let run file source sink obs =
     setup_logs ();
-    with_obs obs @@ fun () ->
+    with_obs ~cmd:"dot" obs @@ fun () ->
     let g = load_graph file in
     print_string (Io.to_dot ?source ?sink g);
     0
@@ -1079,5 +1219,6 @@ let () =
             generate_cmd;
             convert_cmd;
             bench_check_cmd;
+            obs_cmd;
             dot_cmd;
           ]))

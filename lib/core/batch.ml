@@ -1,9 +1,23 @@
 module Obs = Tin_obs.Obs
+module Trace_ctx = Tin_obs.Trace_ctx
 
 (* Chunk spans land on the recording domain's trace row (the span's
    [tid] is the domain id), so a trace shows how work spread over
    domains.  Args are built lazily: disabled runs must not allocate. *)
-let span name args f = if Obs.tracking () then Obs.Span.with_ name ~args:(args ()) f else f ()
+let span name args f = if Obs.recording () then Obs.Span.with_ name ~args:(args ()) f else f ()
+
+(* Trace context is domain-local, so a spawned worker would start a
+   fresh trace and its chunk spans would orphan from the caller's
+   request span.  Capture the caller's context once and reinstall it
+   in every worker (the caller runs its own worker inline under an
+   identical context, so chunk spans parent the same way on every
+   domain and the exported trace stitches into one tree). *)
+let propagating worker =
+  if Obs.recording () then begin
+    let ctx = Trace_ctx.current () in
+    fun () -> Trace_ctx.with_ctx ctx worker
+  end
+  else worker
 
 type problem = { graph : Graph.t; source : Graph.vertex; sink : Graph.vertex }
 
@@ -47,6 +61,7 @@ let map ?jobs ?(chunk = 4) f items =
       in
       loop ()
     in
+    let worker = propagating worker in
     let helpers = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
     worker ();
     List.iter Domain.join helpers;
@@ -109,6 +124,7 @@ let map_reduce ?jobs ?(chunk = 16) ?stop ~n ~init ~body ~merge () =
       in
       loop ()
     in
+    let worker = propagating worker in
     let helpers = List.init (min jobs n_chunks - 1) (fun _ -> Domain.spawn worker) in
     worker ();
     List.iter Domain.join helpers;

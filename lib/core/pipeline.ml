@@ -1,7 +1,7 @@
 module Obs = Tin_obs.Obs
 
 (* Span args are built lazily so the disabled path allocates nothing. *)
-let span name args f = if Obs.tracking () then Obs.Span.with_ name ~args:(args ()) f else f ()
+let span name args f = if Obs.recording () then Obs.Span.with_ name ~args:(args ()) f else f ()
 
 let graph_args g () =
   [

@@ -156,6 +156,13 @@ let create ?(base = Graph.empty) ?(on_alert = fun _ -> ()) config =
   evict t;
   rebuild t;
   Obs.Gauge.set g_window (float_of_int (Queue.length t.times));
+  (* Gauges are process-global: a fresh daemon must retract whatever
+     lag a previous instance published.  NaN reads as "unset" and is
+     skipped by the exporters; with a preloaded base there is a
+     meaningful lag immediately. *)
+  Obs.Gauge.set g_lag
+    (if Queue.is_empty t.times || t.stream_last = neg_infinity then Float.nan
+     else Float.max 0. (Unix.gettimeofday () -. t.stream_last));
   t
 
 (* Canonical stream order: Interaction.compare is (time, qty); break
@@ -212,6 +219,10 @@ let tick_locked t =
 
 let ingest t entries =
   locked t @@ fun () ->
+  (* Nested under the server's [http./ingest] root span (the handler
+     runs on the serving domain, where that context is installed), so
+     a request trace separates ingest work from any cadence tick. *)
+  Obs.Span.with_ "serve.ingest" @@ fun () ->
   let entries = List.stable_sort entry_cmp entries in
   let floor = t.stream_last in
   let accepted = ref 0 and rejected = ref 0 in
@@ -239,7 +250,12 @@ let ingest t entries =
   Obs.Counter.add c_ingested !accepted;
   Obs.Counter.add c_rejected !rejected;
   Obs.Gauge.set g_window (float_of_int (Queue.length t.times));
-  if !accepted > 0 then
+  (* Lag is only meaningful against a nonempty window: if nothing has
+     ever arrived (or eviction drained everything), the gauge must
+     read NaN — skipped by the exposition — not the last stale
+     value. *)
+  if Queue.is_empty t.times || t.stream_last = neg_infinity then Obs.Gauge.set g_lag Float.nan
+  else if !accepted > 0 then
     Obs.Gauge.set g_lag (Float.max 0. (Unix.gettimeofday () -. t.stream_last));
   let alerts =
     if t.config.cadence > 0 && t.since_tick >= t.config.cadence then tick_locked t

@@ -253,7 +253,7 @@ let solve ?(solver = `Auto) ?eps ?max_iters ?metrics t =
     in
     (* Span args are only materialized when tracing is on: the disabled
        path must not allocate. *)
-    if Tin_obs.Obs.tracking () then
+    if Tin_obs.Obs.recording () then
       Tin_obs.Obs.Span.with_ "lp.solve"
         ~args:
           [

@@ -133,7 +133,6 @@ module Gauge0 = struct
       None (Shard.all g.shard)
 
   let value g = match freshest g with Some (_, v) -> v | None -> Float.nan
-  let is_set g = freshest g <> None
   let name g = g.name
 
   let reset g =
@@ -171,6 +170,9 @@ type event = {
   dur_ns : int64;
   tid : int;
   args : (string * string) list;
+  trace_id : string;
+  span_id : string;
+  parent_id : string;
 }
 
 (* --- registry (creation/lookup only; never on the hot path) --- *)
@@ -252,37 +254,188 @@ end
 
 (* Per-domain bounded event buffers: an unbounded trace of a long
    pattern search could otherwise exhaust memory.  Overflow is counted
-   and reported instead of silently dropped. *)
-let max_events_per_domain = 262_144
+   and reported instead of silently dropped.  The cap is settable so
+   tests can force overflow without recording 262k spans. *)
+let default_span_buffer_cap = 262_144
+let span_cap = Atomic.make default_span_buffer_cap
+let span_buffer_cap () = Atomic.get span_cap
+
+let set_span_buffer_cap n =
+  if n <= 0 then invalid_arg "Obs.set_span_buffer_cap: cap must be positive";
+  Atomic.set span_cap n
 
 type span_cell = { mutable evs : event list; mutable count : int; mutable dropped : int }
 
 let span_shard = Shard.create (fun () -> { evs = []; count = 0; dropped = 0 })
 
+(* --- flight-recorder ring (always-on black box) -------------------- *)
+
+(* A bounded per-domain ring of the most recent span events, armed
+   independently of [enabled]: when tracing is off, spans still land
+   here (and only here), so a SIGUSR2 / crash / daemon-5xx dump can
+   answer "what was it doing" after the fact.  Overwriting the oldest
+   entry counts as an *eviction* — deliberately a different counter
+   from the bounded span-buffer drops, because an eviction is normal
+   steady-state behaviour while a drop means the requested trace is
+   incomplete.  The dump/incident half of the [Flight] API lives at
+   the end of this file (it needs the Chrome-trace emitter). *)
+module Flight0 = struct
+  let armed_flag = Atomic.make true
+  let default_capacity = 4096
+  let capacity = Atomic.make default_capacity
+
+  type cell = {
+    mutable ring : event array;
+    mutable next : int;
+    mutable filled : int;
+    mutable evicted : int;
+  }
+
+  let dummy =
+    {
+      name = "";
+      ts_ns = 0L;
+      dur_ns = 0L;
+      tid = 0;
+      args = [];
+      trace_id = "";
+      span_id = "";
+      parent_id = "";
+    }
+
+  let shard =
+    Shard.create (fun () ->
+        { ring = Array.make (Atomic.get capacity) dummy; next = 0; filled = 0; evicted = 0 })
+
+  let push e =
+    let c = Shard.local shard in
+    let len = Array.length c.ring in
+    if c.filled = len then c.evicted <- c.evicted + 1 else c.filled <- c.filled + 1;
+    c.ring.(c.next) <- e;
+    c.next <- (c.next + 1) mod len
+
+  let armed () = Atomic.get armed_flag
+  let arm () = Atomic.set armed_flag true
+  let disarm () = Atomic.set armed_flag false
+  let evictions () = List.fold_left (fun acc c -> acc + c.evicted) 0 (Shard.all shard)
+
+  let events () =
+    Shard.all shard
+    |> List.concat_map (fun c ->
+           let len = Array.length c.ring in
+           List.init c.filled (fun i ->
+               (* oldest-first: the slot after [next] wraps to the
+                  oldest retained entry once the ring has lapped *)
+               c.ring.((c.next - c.filled + i + len * 2) mod len)))
+    |> List.sort (fun a b -> Int64.compare a.ts_ns b.ts_ns)
+
+  let clear () =
+    List.iter
+      (fun c ->
+        Array.fill c.ring 0 (Array.length c.ring) dummy;
+        c.next <- 0;
+        c.filled <- 0;
+        c.evicted <- 0)
+      (Shard.all shard)
+
+  (* Tests only: resize (and clear) every materialized cell.  New
+     domains pick the new capacity up from the atomic. *)
+  let set_capacity n =
+    if n <= 0 then invalid_arg "Obs.Flight.set_capacity: capacity must be positive";
+    Atomic.set capacity n;
+    List.iter
+      (fun c ->
+        c.ring <- Array.make n dummy;
+        c.next <- 0;
+        c.filled <- 0;
+        c.evicted <- 0)
+      (Shard.all shard)
+end
+
+(* Is anything listening?  True when the metrics layer is enabled or
+   the flight recorder is armed — the guard for span instrumentation
+   (counters/gauges/histograms still key off [enabled] alone). *)
+let recording () = Atomic.get enabled || Atomic.get Flight0.armed_flag
+
 module Span = struct
-  let record name args t0 t1 =
-    let cell = Shard.local span_shard in
-    if cell.count >= max_events_per_domain then cell.dropped <- cell.dropped + 1
-    else begin
-      cell.evs <-
-        { name; ts_ns = t0; dur_ns = Int64.sub t1 t0; tid = (Domain.self () :> int); args }
-        :: cell.evs;
-      cell.count <- cell.count + 1
-    end
+  let record ~trace_id ~span_id ~parent_id name args t0 t1 =
+    let e =
+      {
+        name;
+        ts_ns = t0;
+        dur_ns = Int64.sub t1 t0;
+        tid = (Domain.self () :> int);
+        args;
+        trace_id;
+        span_id;
+        parent_id;
+      }
+    in
+    if Atomic.get enabled then begin
+      let cell = Shard.local span_shard in
+      if cell.count >= Atomic.get span_cap then cell.dropped <- cell.dropped + 1
+      else begin
+        cell.evs <- e :: cell.evs;
+        cell.count <- cell.count + 1
+      end
+    end;
+    if Atomic.get Flight0.armed_flag then Flight0.push e
 
   let with_ ?(args = []) name f =
-    if not (Atomic.get enabled) then f ()
+    if not (recording ()) then f ()
     else begin
+      (* Open a child context: inherit the trace id of the innermost
+         open span on this domain (or start a fresh trace), install it
+         for the duration of [f], and restore the parent on the way
+         out — the manual save/restore mirrors [Trace_ctx.with_ctx]
+         without the extra closure on this hot-ish path. *)
+      let cell = Trace_ctx.cell () in
+      let parent = !cell in
+      let parent_id = match parent with Some p -> p.Trace_ctx.span_id | None -> "" in
+      let ctx =
+        match parent with
+        | Some p -> { Trace_ctx.trace_id = p.Trace_ctx.trace_id; span_id = Trace_ctx.fresh_span_id () }
+        | None ->
+            { Trace_ctx.trace_id = Trace_ctx.fresh_trace_id (); span_id = Trace_ctx.fresh_span_id () }
+      in
+      cell := Some ctx;
       let t0 = Timer.now_ns () in
       match f () with
       | r ->
-          record name args t0 (Timer.now_ns ());
+          let t1 = Timer.now_ns () in
+          cell := parent;
+          record ~trace_id:ctx.Trace_ctx.trace_id ~span_id:ctx.Trace_ctx.span_id ~parent_id name
+            args t0 t1;
           r
       | exception e ->
           let bt = Printexc.get_raw_backtrace () in
-          record name (("exception", Printexc.to_string e) :: args) t0 (Timer.now_ns ());
+          let t1 = Timer.now_ns () in
+          cell := parent;
+          record ~trace_id:ctx.Trace_ctx.trace_id ~span_id:ctx.Trace_ctx.span_id ~parent_id name
+            (("exception", Printexc.to_string e) :: args)
+            t0 t1;
           Printexc.raise_with_backtrace e bt
     end
+
+  let with_root ?traceparent name f =
+    if not (recording ()) then f ()
+    else
+      let base =
+        match Option.bind traceparent Trace_ctx.of_traceparent with
+        | Some ctx -> ctx
+        | None -> { Trace_ctx.trace_id = Trace_ctx.fresh_trace_id (); span_id = "" }
+      in
+      Trace_ctx.with_ctx (Some base) (fun () -> with_ name f)
+
+  let current_ids () =
+    match Trace_ctx.current () with
+    | Some c when c.Trace_ctx.span_id <> "" -> Some (c.Trace_ctx.trace_id, c.Trace_ctx.span_id)
+    | _ -> None
+
+  let current_traceparent () =
+    match Trace_ctx.current () with
+    | Some c when c.Trace_ctx.span_id <> "" -> Some (Trace_ctx.to_traceparent c)
+    | _ -> None
 end
 
 (* --- reads --- *)
@@ -295,10 +448,17 @@ let counters () =
   |> List.filter_map (function C c -> Some (Counter.name c, Counter.value c) | _ -> None)
   |> List.sort compare
 
+(* A gauge set to NaN reads as "unset": NaN is the value [Gauge.value]
+   returns for never-written gauges, and writing it explicitly is the
+   supported way to retract a published value (e.g. ingest lag once
+   the window empties) without a full [reset]. *)
 let gauges () =
   metrics ()
   |> List.filter_map (function
-       | G g when Gauge0.is_set g -> Some (Gauge.name g, Gauge.value g)
+       | G g -> (
+           match Gauge0.freshest g with
+           | Some (_, v) when not (Float.is_nan v) -> Some (Gauge.name g, v)
+           | _ -> None)
        | _ -> None)
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
@@ -324,7 +484,8 @@ let reset () =
       cell.evs <- [];
       cell.count <- 0;
       cell.dropped <- 0)
-    (Shard.all span_shard)
+    (Shard.all span_shard);
+  Flight0.clear ()
 
 (* --- runtime telemetry sampler ------------------------------------- *)
 
@@ -441,13 +602,21 @@ let json_args args =
       (List.map (fun (k, v) -> Printf.sprintf "\"%s\": \"%s\"" (json_escape k) (json_escape v)) args)
   ^ "}"
 
+(* Trace identifiers ride in the args object — the Chrome-trace format
+   has no dedicated fields for them, and Perfetto renders args, so the
+   ids stay inspectable.  [Report] reads them back from there. *)
+let export_args e =
+  if e.trace_id = "" then e.args
+  else
+    ("trace_id", e.trace_id) :: ("span_id", e.span_id)
+    :: (if e.parent_id = "" then e.args else ("parent_id", e.parent_id) :: e.args)
+
 (* Microseconds rebased to the earliest span: Chrome-trace viewers
    expect small monotonic offsets, and a double keeps full precision
    once the (huge) absolute clock origin is gone.  The top level is
    the Chrome-trace JSON {e Object Format} so span loss is visible in
    the artifact itself as a "dropped_events" field. *)
-let chrome_trace_json () =
-  let evs = trace_events () in
+let chrome_trace_of ?(extra = []) evs =
   let base = match evs with [] -> 0L | e :: _ -> e.ts_ns in
   let us ns = Int64.to_float (Int64.sub ns base) /. 1e3 in
   let b = Buffer.create 4096 in
@@ -476,7 +645,8 @@ let chrome_trace_json () =
            (json_escape e.name)
            (json_float (us e.ts_ns))
            (json_float (Int64.to_float e.dur_ns /. 1e3))
-           e.tid (json_args e.args)))
+           e.tid
+           (json_args (export_args e))))
     evs;
   (* Counters ride along as process-scoped instant events so a trace
      file is self-contained. *)
@@ -489,8 +659,14 @@ let chrome_trace_json () =
               \"p\", \"args\": {\"value\": \"%d\"}}"
              (json_escape name) v))
     (counters ());
-  Buffer.add_string b (Printf.sprintf "\n], \"dropped_events\": %d}\n" (dropped_events ()));
+  Buffer.add_string b (Printf.sprintf "\n], \"dropped_events\": %d" (dropped_events ()));
+  List.iter
+    (fun (k, raw_json) -> Buffer.add_string b (Printf.sprintf ", \"%s\": %s" (json_escape k) raw_json))
+    extra;
+  Buffer.add_string b "}\n";
   Buffer.contents b
+
+let chrome_trace_json () = chrome_trace_of (trace_events ())
 
 let metrics_json () =
   let b = Buffer.create 1024 in
@@ -517,7 +693,9 @@ let metrics_json () =
         (json_escape name) s.Stats.count (json_float s.Stats.mean) (json_float s.Stats.stddev)
         (json_float s.Stats.min) (json_float s.Stats.max) (json_float s.Stats.total))
     hs;
-  add "%s},\n  \"dropped_events\": %d\n}\n" (if hs = [] then "" else "\n  ") (dropped_events ());
+  add "%s},\n  \"dropped_events\": %d,\n  \"flight_evictions\": %d\n}\n"
+    (if hs = [] then "" else "\n  ")
+    (dropped_events ()) (Flight0.evictions ());
   Buffer.contents b
 
 (* --- Prometheus text exposition (format version 0.0.4) ------------- *)
@@ -606,7 +784,11 @@ let prometheus_text () =
   let gs =
     List.filter_map
       (function
-        | G g when Gauge0.is_set g -> Some (g.Gauge0.base, g.Gauge0.labels, Gauge0.value g)
+        | G g -> (
+            (* NaN means "unset": skipped like a never-written gauge. *)
+            match Gauge0.freshest g with
+            | Some (_, v) when not (Float.is_nan v) -> Some (g.Gauge0.base, g.Gauge0.labels, v)
+            | _ -> None)
         | _ -> None)
       ms
     |> List.sort compare
@@ -657,9 +839,14 @@ let prometheus_text () =
         (fun s -> s.Stats.max)
         (fun s -> s.Stats.count > 0))
     (group_by_base hs);
-  (* Span loss is part of the scrape: a dashboard can alert on it. *)
+  (* Span loss is part of the scrape: a dashboard can alert on it.
+     Buffer drops (trace incomplete) and flight-ring evictions (normal
+     wraparound of the post-mortem ring) are distinct signals. *)
   header "obs_dropped_span_events" "counter" "spans dropped at the per-domain buffer cap";
   Buffer.add_string b (Printf.sprintf "obs_dropped_span_events %d\n" (dropped_events ()));
+  header "obs_flight_ring_evictions" "counter"
+    "flight-recorder ring slots overwritten by newer spans";
+  Buffer.add_string b (Printf.sprintf "obs_flight_ring_evictions %d\n" (Flight0.evictions ()));
   Buffer.contents b
 
 let write_chrome_trace path =
@@ -673,7 +860,7 @@ let print_summary oc =
     Printf.fprintf oc
       "observability: WARNING: %d span(s) dropped (per-domain buffer cap %d reached; the trace \
        is incomplete)\n"
-      (dropped_events ()) max_events_per_domain;
+      (dropped_events ()) (span_buffer_cap ());
   let cs = List.filter (fun (_, v) -> v <> 0) (counters ()) in
   if cs <> [] then
     output_string oc
@@ -706,3 +893,59 @@ let print_summary oc =
       (match dropped_events () with 0 -> "" | d -> Printf.sprintf ", %d dropped" d);
   if cs = [] && gs = [] && hs = [] && spans = 0 then
     output_string oc "observability: no metrics recorded\n"
+
+(* --- flight recorder: dump / incident API -------------------------- *)
+
+module Flight = struct
+  include Flight0
+
+  let lock = Mutex.create ()
+  let prefix = ref ("tinflow-flight-" ^ string_of_int (Unix.getpid ()))
+  let dump_count = Atomic.make 0
+  let last_dump_ns = Atomic.make Int64.min_int
+
+  let set_dump_prefix p =
+    if p = "" then invalid_arg "Obs.Flight.set_dump_prefix: empty prefix";
+    Mutex.protect lock (fun () -> prefix := p)
+
+  let dumps () = Atomic.get dump_count
+
+  (* Post-mortem snapshot: the ring contents as a Chrome trace, with
+     the trigger and the eviction count as extra top-level fields.
+     Serialized under a lock (signal handler, 5xx path and crash hook
+     may race); safe to call from a [Sys.Signal_handle] because those
+     run as normal OCaml code between allocations, not as raw signal
+     handlers. *)
+  let dump ?path ~reason () =
+    let evs = events () in
+    let body =
+      chrome_trace_of
+        ~extra:
+          [
+            ("reason", "\"" ^ json_escape reason ^ "\"");
+            ("flight_evictions", string_of_int (evictions ()));
+            ("armed", if armed () then "true" else "false");
+          ]
+        evs
+    in
+    Mutex.protect lock (fun () ->
+        let path =
+          match path with Some p -> p | None -> Printf.sprintf "%s-%s.json" !prefix reason
+        in
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_string oc body);
+        Atomic.incr dump_count;
+        Atomic.set last_dump_ns (Timer.now_ns ());
+        path)
+
+  (* Rate-limited dump for recurring triggers (daemon 5xx): at most
+     one file per second, so an error storm cannot turn the black box
+     into an I/O storm.  Returns the path when a dump was written. *)
+  let incident ~reason () =
+    let now = Timer.now_ns () in
+    let last = Atomic.get last_dump_ns in
+    if last <> Int64.min_int && Int64.sub now last < 1_000_000_000L then None
+    else Some (dump ~reason ())
+end

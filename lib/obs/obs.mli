@@ -37,13 +37,19 @@ val enable : unit -> unit
 val disable : unit -> unit
 
 val tracking : unit -> bool
-(** [Atomic.get enabled] — the guard every recording call evaluates
-    first. *)
+(** [Atomic.get enabled] — the guard every metric recording call
+    evaluates first. *)
+
+val recording : unit -> bool
+(** True when spans have somewhere to go: {!enabled} is set {e or} the
+    {!Flight} recorder is armed.  This is the guard for span
+    instrumentation (and for building span args); metric probes still
+    key off {!enabled} alone. *)
 
 val reset : unit -> unit
 (** Zeroes every counter and histogram, unsets every gauge, and drops
-    all recorded span events.  Metric identities (registered names)
-    survive. *)
+    all recorded span events and flight-ring contents.  Metric
+    identities (registered names) survive. *)
 
 (** Monotonically increasing named event counts. *)
 module Counter : sig
@@ -145,15 +151,100 @@ type event = {
   dur_ns : int64;
   tid : int;  (** The recording domain's id — one trace row each. *)
   args : (string * string) list;
+  trace_id : string;  (** 32 hex chars; [""] on events recorded without a context. *)
+  span_id : string;  (** 16 hex chars identifying this span. *)
+  parent_id : string;  (** Enclosing span's id; [""] for roots. *)
 }
 
-(** Wall-clock spans around instrumented regions. *)
+val span_buffer_cap : unit -> int
+(** Per-domain bounded span-buffer capacity (default 262144). *)
+
+val set_span_buffer_cap : int -> unit
+(** Change the per-domain span-buffer cap.  Tests use a tiny cap to
+    force drops; restore the default afterwards.
+    @raise Invalid_argument if not positive. *)
+
+(** Wall-clock spans around instrumented regions, carrying W3C trace
+    context: every recorded span gets a fresh span id, inherits the
+    trace id of the innermost open span on its domain (or starts a
+    fresh trace), and records that enclosing span as its parent — so
+    an exported trace reassembles into trees.  Propagation across
+    [Domain.spawn] is explicit via {!Trace_ctx}. *)
 module Span : sig
   val with_ : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
-  (** [with_ name f] runs [f ()]; when {!enabled} is set, the elapsed
-      interval is recorded as a complete event on the calling domain's
-      timeline (also when [f] raises).  When disabled, this is exactly
-      a guarded call to [f]. *)
+  (** [with_ name f] runs [f ()]; when {!recording} is true, the
+      elapsed interval is recorded as a complete event on the calling
+      domain's timeline (also when [f] raises) — into the bounded
+      trace buffer when {!enabled}, and into the {!Flight} ring when
+      armed.  Otherwise this is exactly a guarded call to [f]. *)
+
+  val with_root : ?traceparent:string -> string -> (unit -> 'a) -> 'a
+  (** [with_root name f] opens [name] as a {e root} span: under a
+      fresh trace id, or — when [traceparent] carries a valid W3C
+      value — under the caller's trace id with the remote span as
+      parent, stitching this process into a distributed trace.
+      Subcommand entry points and HTTP request handlers use this;
+      malformed [traceparent] values fall back to a fresh trace. *)
+
+  val current_ids : unit -> (string * string) option
+  (** [(trace_id, span_id)] of the innermost open span on this domain
+      — what [--log-json] events attach to correlate logs with
+      spans. *)
+
+  val current_traceparent : unit -> string option
+  (** The current context as a [traceparent] header value, for
+      propagation to downstream services (emitted on daemon HTTP
+      responses). *)
+end
+
+(** Always-on post-mortem flight recorder: a bounded per-domain ring
+    of the most recent spans, armed by default and independent of
+    {!enabled} — cheap enough to leave on in production ([--trace]
+    off), so a SIGUSR2, daemon 5xx or crash can dump "what it was
+    doing" after the fact.  Ring wraparound counts {e evictions}
+    (normal; exported as [obs_flight_ring_evictions]), a different
+    signal from bounded span-buffer {e drops}
+    ([obs_dropped_span_events], trace incomplete). *)
+module Flight : sig
+  val armed : unit -> bool
+  val arm : unit -> unit
+
+  val disarm : unit -> unit
+  (** Disarming (plus keeping {!enabled} off) restores the strict
+      zero-recording path. *)
+
+  val default_capacity : int
+  (** Ring slots per domain (4096). *)
+
+  val set_capacity : int -> unit
+  (** Resize (and clear) every materialized ring; tests use a tiny
+      capacity to force evictions.  @raise Invalid_argument if not
+      positive. *)
+
+  val events : unit -> event list
+  (** Current ring contents across domains, oldest first. *)
+
+  val evictions : unit -> int
+  (** Ring slots overwritten by newer spans since the last {!reset}. *)
+
+  val set_dump_prefix : string -> unit
+  (** Path prefix for dump files (default
+      [tinflow-flight-<pid>]). @raise Invalid_argument on [""]. *)
+
+  val dump : ?path:string -> reason:string -> unit -> string
+  (** Write the ring as a Chrome trace to [path] (default
+      [<prefix>-<reason>.json]) with [reason], [flight_evictions] and
+      [armed] as extra top-level fields; returns the path written.
+      Safe from OCaml signal handlers and racing triggers (serialized
+      internally). *)
+
+  val incident : reason:string -> unit -> string option
+  (** Rate-limited {!dump} (at most one per second, across reasons):
+      the trigger for recurring conditions like daemon 5xx responses.
+      [None] when suppressed by the rate limit. *)
+
+  val dumps : unit -> int
+  (** Dump files written since process start. *)
 end
 
 (** Process runtime telemetry: GC behaviour, resident set size and

@@ -1,8 +1,16 @@
+module Timer = Tin_util.Timer
+
 type meth = [ `GET | `POST ]
 
 type response = { code : int; content_type : string; body : string }
 
 type handler = body:string -> response
+
+(* Per-route request latency, labeled by matched route and status
+   code.  Unmatched paths share one "unmatched" label value so a
+   scanner probing random URLs cannot mint unbounded time series. *)
+let http_latency =
+  Obs.Histogram.make_labeled "http_request_duration_ms" ~labels:[ "route"; "status" ]
 
 type t = {
   sock : Unix.file_descr;
@@ -37,11 +45,12 @@ let http_status = function
   | 413 -> "413 Payload Too Large"
   | _ -> "500 Internal Server Error"
 
-let respond fd ~code ~content_type body =
+let respond ?(extra_headers = []) fd ~code ~content_type body =
   let head =
-    Printf.sprintf
-      "HTTP/1.1 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n"
+    Printf.sprintf "HTTP/1.1 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n%s\r\n"
       (http_status code) content_type (String.length body)
+      (String.concat ""
+         (List.map (fun (k, v) -> Printf.sprintf "%s: %s\r\n" k v) extra_headers))
   in
   let payload = Bytes.of_string (head ^ body) in
   let n = Bytes.length payload in
@@ -62,7 +71,12 @@ let respond fd ~code ~content_type body =
    rescanning the whole accumulated head after every read (which made
    parsing O(n^2) in the head size). *)
 module Request = struct
-  type t = { meth : string; target : string; body : string }
+  type t = {
+    meth : string;
+    target : string;
+    body : string;
+    headers : (string * string) list;
+  }
 
   type parser = {
     acc : Buffer.t;
@@ -103,6 +117,26 @@ module Request = struct
         Some (meth, target)
     | _ -> None
 
+  (* Header field names are case-insensitive (RFC 9110): keys come out
+     lowercased.  Continuation lines (obsolete folding) and lines
+     without a colon are skipped rather than rejected — this parser
+     only needs to be permissive enough for the headers the daemon
+     reads ([content-length], [traceparent]). *)
+  let parse_headers head =
+    match String.index_opt head '\n' with
+    | None -> []
+    | Some first_eol ->
+        String.sub head (first_eol + 1) (String.length head - first_eol - 1)
+        |> String.split_on_char '\n'
+        |> List.filter_map (fun line ->
+               let line = String.trim line in
+               match String.index_opt line ':' with
+               | Some i when i > 0 ->
+                   Some
+                     ( String.lowercase_ascii (String.sub line 0 i),
+                       String.trim (String.sub line (i + 1) (String.length line - i - 1)) )
+               | _ -> None)
+
   let content_length head =
     let lower = String.lowercase_ascii head in
     let key = "content-length:" in
@@ -124,7 +158,13 @@ module Request = struct
       match p.line with
       | None -> `Malformed (* unreachable: [line] is set when [head_end] is *)
       | Some (meth, target) ->
-          `Done { meth; target; body = String.sub s p.head_end p.need }
+          `Done
+            {
+              meth;
+              target;
+              body = String.sub s p.head_end p.need;
+              headers = parse_headers (String.sub s 0 p.head_end);
+            }
     in
     if p.head_end >= 0 then
       if Buffer.length p.acc >= p.head_end + p.need then complete () else `More
@@ -203,32 +243,59 @@ let handle ~read_timeout ~max_body ~routes fd =
   | `Timeout | `Closed -> () (* idle probe or vanished peer: nothing to answer *)
   | `Head_too_large | `Body_too_large -> respond fd ~code:413 ~content_type:text "too large\n"
   | `Malformed -> respond fd ~code:400 ~content_type:text "bad request\n"
-  | `Done { Request.meth; target; body } -> (
+  | `Done { Request.meth; target; body; headers } ->
+      let t0 = if Atomic.get Obs.enabled then Timer.now_ns () else 0L in
       let meth = match meth with "GET" -> Some `GET | "POST" -> Some `POST | _ -> None in
-      match meth with
-      | None -> respond fd ~code:405 ~content_type:text "GET and POST only\n"
-      | Some m -> (
-          let path =
-            match String.index_opt target '?' with
-            | Some i -> String.sub target 0 i
-            | None -> target
-          in
-          match List.find_opt (fun (rm, rp, _) -> rm = m && rp = path) routes with
-          | Some (_, _, h) ->
-              let { code; content_type; body } =
-                try h ~body
-                with e ->
-                  {
-                    code = 500;
-                    content_type = text;
-                    body = "handler error: " ^ Printexc.to_string e ^ "\n";
-                  }
-              in
-              respond fd ~code ~content_type body
-          | None ->
-              if List.exists (fun (_, rp, _) -> rp = path) routes then
-                respond fd ~code:405 ~content_type:text "method not allowed\n"
-              else respond fd ~code:404 ~content_type:text "not found\n")));
+      let path =
+        match String.index_opt target '?' with
+        | Some i -> String.sub target 0 i
+        | None -> target
+      in
+      (* Each matched request runs under a root span: a client-sent
+         traceparent stitches the request into the caller's trace, and
+         the span opened here parents everything the handler records
+         (ingest, tick, catalog searches).  The context is echoed back
+         as a traceparent response header. *)
+      let traceparent = List.assoc_opt "traceparent" headers in
+      let tp_out = ref None in
+      let resp, route_label =
+        match meth with
+        | None ->
+            ({ code = 405; content_type = text; body = "GET and POST only\n" }, "unmatched")
+        | Some m -> (
+            match List.find_opt (fun (rm, rp, _) -> rm = m && rp = path) routes with
+            | Some (_, _, h) ->
+                let resp =
+                  Obs.Span.with_root ?traceparent ("http." ^ path) (fun () ->
+                      tp_out := Obs.Span.current_traceparent ();
+                      try h ~body
+                      with e ->
+                        {
+                          code = 500;
+                          content_type = text;
+                          body = "handler error: " ^ Printexc.to_string e ^ "\n";
+                        })
+                in
+                (resp, path)
+            | None ->
+                if List.exists (fun (_, rp, _) -> rp = path) routes then
+                  ({ code = 405; content_type = text; body = "method not allowed\n" }, "unmatched")
+                else ({ code = 404; content_type = text; body = "not found\n" }, "unmatched"))
+      in
+      if Atomic.get Obs.enabled then begin
+        let dt_ms = Int64.to_float (Int64.sub (Timer.now_ns ()) t0) /. 1e6 in
+        Obs.Histogram.observe
+          (Obs.Histogram.labeled http_latency [ route_label; string_of_int resp.code ])
+          dt_ms
+      end;
+      (* A 5xx is an incident: snapshot the flight ring next to it
+         (rate-limited inside), so "what was the daemon doing" is
+         answerable even when nobody was tracing. *)
+      if resp.code >= 500 then ignore (Obs.Flight.incident ~reason:"http_5xx" ());
+      let extra_headers =
+        match !tp_out with Some tp -> [ ("traceparent", tp) ] | None -> []
+      in
+      respond ~extra_headers fd ~code:resp.code ~content_type:resp.content_type resp.body);
   try Unix.close fd with Unix.Unix_error _ -> ()
 
 (* Accept with a select timeout instead of blocking: closing a socket

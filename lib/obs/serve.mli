@@ -31,7 +31,16 @@
       are distinguished from malformed input, which is still answered
       [400].
     - Request parsing is linear in the request size: the
-      head-terminator scan resumes where the previous chunk ended. *)
+      head-terminator scan resumes where the previous chunk ended.
+
+    Observability of the server itself: every matched request runs
+    under an [http.<path>] root span (a valid W3C [traceparent]
+    request header adopts the caller's trace id; the active context is
+    echoed back as a [traceparent] response header), request latency
+    is observed into the [http_request_duration_ms{route,status}]
+    histogram family while {!Obs.enabled} ("unmatched" caps the route
+    cardinality for 404/405s), and any 5xx response triggers a
+    rate-limited {!Obs.Flight.incident} dump. *)
 
 type meth = [ `GET | `POST ]
 
@@ -48,7 +57,15 @@ type t
     tests of the chunk-boundary cases (a terminator split across two
     reads, an oversized declared body). *)
 module Request : sig
-  type t = { meth : string; target : string; body : string }
+  type t = {
+    meth : string;
+    target : string;
+    body : string;
+    headers : (string * string) list;
+        (** Field names lowercased (RFC 9110 case-insensitivity);
+            values trimmed.  The server reads [traceparent] from
+            here. *)
+  }
 
   type parser
 

@@ -1,0 +1,43 @@
+(** W3C-trace-context identifiers and their domain-local propagation.
+
+    The current context is the (trace_id, span_id) of the innermost
+    open span on this domain.  [Obs.Span.with_] reads it to parent new
+    spans and installs the child context around the body; nothing here
+    records events.  The slot is {e domain-local}: spawned domains
+    start empty, so parallel layers must capture [current ()] before
+    [Domain.spawn] and reinstall it with [with_ctx] inside the worker
+    (see [Tin_core.Batch]). *)
+
+type t = {
+  trace_id : string;  (** 32 lowercase hex chars, never all-zero *)
+  span_id : string;
+      (** 16 lowercase hex chars; [""] only in a root base context that
+          carries a trace id but no open span yet *)
+}
+
+val fresh_trace_id : unit -> string
+(** New 32-hex trace id.  Lock-free and unique across domains. *)
+
+val fresh_span_id : unit -> string
+(** New 16-hex span id. *)
+
+val current : unit -> t option
+(** The context installed on the calling domain, if any. *)
+
+val cell : unit -> t option ref
+(** The raw domain-local slot.  Internal — used by [Obs.Span] to avoid
+    closure allocation on the hot path; prefer [with_ctx]. *)
+
+val with_ctx : t option -> (unit -> 'a) -> 'a
+(** [with_ctx ctx f] runs [f] with [ctx] installed as the current
+    context, restoring the previous one afterwards (also on raise). *)
+
+val of_traceparent : string -> t option
+(** Parse a W3C [traceparent] header value ([00-<32 hex>-<16 hex>-<2
+    hex>]).  [None] on malformed input, version [ff], or all-zero
+    ids.  The remote parent's span id becomes [span_id], so a root
+    span opened under this context is stitched to the caller. *)
+
+val to_traceparent : t -> string
+(** Render as a [traceparent] value with flags [01] (sampled).  An
+    empty [span_id] renders as all-zero (root not yet opened). *)

@@ -163,7 +163,7 @@ let search ?jobs sh ~name ~n body =
   let run_anchor local a =
     Obs.Counter.incr c_anchors;
     let go () = try body local a with Done -> () in
-    if Obs.tracking () then
+    if Obs.recording () then
       Obs.Span.with_ "catalog.anchor"
         ~args:[ ("pattern", name); ("anchor", string_of_int a) ]
         go
@@ -177,7 +177,7 @@ let search ?jobs sh ~name ~n body =
       ()
   in
   let merged =
-    if Obs.tracking () then
+    if Obs.recording () then
       Obs.Span.with_ "catalog.search"
         ~args:[ ("pattern", name); ("anchors", string_of_int n) ]
         run

@@ -9,8 +9,8 @@ type row = {
 }
 
 (* Array elements keyed by an identifying field so that reordering or
-   extending a list (another dataset, another job count) moves one
-   path, not all of them. *)
+   extending a list (another dataset, another job count, another
+   domain in an obs report) moves one path, not all of them. *)
 let element_key (v : Json.t) =
   let field k =
     match Json.member k v with
@@ -18,7 +18,7 @@ let element_key (v : Json.t) =
     | Some (Json.Num f) -> Some (Printf.sprintf "%g" f)
     | _ -> None
   in
-  List.find_map field [ "name"; "class"; "jobs"; "pattern" ]
+  List.find_map field [ "name"; "class"; "jobs"; "pattern"; "tid" ]
 
 let flatten (doc : Json.t) =
   let out = ref [] in

@@ -1,12 +1,13 @@
 (** Benchmark-regression gate: structural diff of two machine-readable
-    benchmark documents ([BENCH_flow.json] / [BENCH_pattern.json])
-    with a relative noise tolerance.
+    benchmark documents ([BENCH_flow.json] / [BENCH_pattern.json],
+    or a [tinflow.obs.report/v1] trace report) with a relative noise
+    tolerance.
 
     Both documents are flattened to [path -> number] maps.  Array
     elements are keyed by their identifying field ([name], [class],
-    [jobs] or [pattern]) when present — so reordering a dataset or
-    adding a job count does not shift every other metric — and by
-    index otherwise.  Each shared metric is then judged against the
+    [jobs], [pattern] or [tid]) when present — so reordering a
+    dataset, adding a job count, or renumbering a domain does not
+    shift every other metric — and by index otherwise.  Each shared metric is then judged against the
     tolerance in the direction its name implies: wall-clock and
     footprint paths ([..._ms], [..._secs], [...rss...]) regress
     upward, throughput paths

@@ -371,6 +371,164 @@ let test_span_records_on_exception () =
       | [ e ] -> Alcotest.(check string) "span recorded despite raise" "boom" e.Obs.name
       | evs -> Alcotest.failf "expected exactly 1 span, got %d" (List.length evs))
 
+(* --- trace contexts ------------------------------------------------ *)
+
+module Trace_ctx = Tin_obs.Trace_ctx
+
+let test_traceparent_roundtrip () =
+  let tp = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01" in
+  (match Trace_ctx.of_traceparent tp with
+  | Some ctx ->
+      Alcotest.(check string) "trace id" "4bf92f3577b34da6a3ce929d0e0e4736" ctx.Trace_ctx.trace_id;
+      Alcotest.(check string) "parent span id" "00f067aa0ba902b7" ctx.Trace_ctx.span_id;
+      Alcotest.(check string) "re-renders" tp (Trace_ctx.to_traceparent ctx)
+  | None -> Alcotest.fail "valid traceparent rejected");
+  (* Surrounding whitespace tolerated (header values arrive trimmed or not). *)
+  Alcotest.(check bool) "whitespace trimmed" true
+    (Trace_ctx.of_traceparent (" " ^ tp ^ "\r") <> None);
+  List.iter
+    (fun (label, bad) ->
+      Alcotest.(check bool) label true (Trace_ctx.of_traceparent bad = None))
+    [
+      ("empty", "");
+      ("garbage", "not-a-traceparent");
+      ("version ff reserved", "ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01");
+      ("short trace id", "00-4bf92f3577b34da6a3ce929d0e0e47-00f067aa0ba902b7-01");
+      ("uppercase hex", "00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01");
+      ("all-zero trace id", "00-00000000000000000000000000000000-00f067aa0ba902b7-01");
+      ("all-zero parent id", "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01");
+      ("missing flags", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7");
+    ]
+
+let test_span_ids_stitch () =
+  with_enabled (fun () ->
+      let tp = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01" in
+      Obs.Span.with_root ~traceparent:tp "req" (fun () ->
+          Obs.Span.with_ "child" (fun () -> ()));
+      match List.sort (fun (a : Obs.event) b -> compare a.Obs.ts_ns b.Obs.ts_ns)
+              (Obs.trace_events ()) with
+      | [ root; child ] ->
+          Alcotest.(check string) "root continues remote trace"
+            "4bf92f3577b34da6a3ce929d0e0e4736" root.Obs.trace_id;
+          Alcotest.(check string) "root parents the remote span" "00f067aa0ba902b7"
+            root.Obs.parent_id;
+          Alcotest.(check string) "child shares the trace" root.Obs.trace_id child.Obs.trace_id;
+          Alcotest.(check string) "child parents the root" root.Obs.span_id child.Obs.parent_id;
+          Alcotest.(check bool) "span ids distinct" true (root.Obs.span_id <> child.Obs.span_id)
+      | evs -> Alcotest.failf "expected 2 spans, got %d" (List.length evs))
+
+(* --- flight recorder ----------------------------------------------- *)
+
+(* Span-buffer drops (trace truncated) and flight-ring evictions
+   (normal wraparound) are different conditions and must count
+   separately.  Shrink both sinks, overflow them, and check the two
+   counters and their scrape lines disagree. *)
+let test_flight_drops_vs_evictions () =
+  with_enabled (fun () ->
+      let cap0 = Obs.span_buffer_cap () in
+      Fun.protect
+        ~finally:(fun () ->
+          Obs.set_span_buffer_cap cap0;
+          Obs.Flight.set_capacity Obs.Flight.default_capacity;
+          Obs.Flight.arm ())
+        (fun () ->
+          Obs.set_span_buffer_cap 8;
+          Obs.Flight.set_capacity 4;
+          Obs.Flight.arm ();
+          for i = 1 to 20 do
+            Obs.Span.with_ (Printf.sprintf "flood.%d" i) (fun () -> ())
+          done;
+          Alcotest.(check int) "span buffer kept its cap" 8
+            (List.length (Obs.trace_events ()));
+          Alcotest.(check int) "drops past the cap" 12 (Obs.dropped_events ());
+          Alcotest.(check int) "ring evicted the rest" 16 (Obs.Flight.evictions ());
+          Alcotest.(check int) "ring holds its capacity" 4
+            (List.length (Obs.Flight.events ()));
+          let text = Obs.prometheus_text () in
+          let lines = String.split_on_char '\n' text in
+          Alcotest.(check bool) "drop line in scrape" true
+            (List.mem "obs_dropped_span_events 12" lines);
+          Alcotest.(check bool) "eviction line in scrape" true
+            (List.mem "obs_flight_ring_evictions 16" lines)))
+
+(* Disarmed and disabled together: spans cost nothing and land nowhere. *)
+let test_flight_disarmed_records_nothing () =
+  Obs.reset ();
+  Obs.Flight.disarm ();
+  Fun.protect
+    ~finally:(fun () -> Obs.Flight.arm ())
+    (fun () ->
+      Obs.Span.with_ "ghost" (fun () -> ());
+      Alcotest.(check int) "flight ring empty" 0 (List.length (Obs.Flight.events ()));
+      Alcotest.(check int) "span buffer empty" 0 (List.length (Obs.trace_events ())))
+
+let test_flight_dump_schema () =
+  Obs.reset ();
+  Obs.Flight.arm ();
+  Obs.Span.with_ "flight.only" (fun () -> ());
+  let path = Filename.temp_file "tin_obs_flight" ".json" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove path;
+      Obs.reset ())
+    (fun () ->
+      ignore (Obs.Flight.dump ~path ~reason:"unit_test" ());
+      let ic = open_in_bin path in
+      let contents = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let root = Json.parse contents in
+      Alcotest.(check (option string)) "reason recorded" (Some "unit_test")
+        (Option.bind (Json.mem "reason" root) Json.str);
+      (match Json.mem "traceEvents" root with
+      | Some (Json.Arr evs) ->
+          let names =
+            List.filter_map (fun e -> Option.bind (Json.mem "name" e) Json.str) evs
+          in
+          Alcotest.(check bool) "flight span dumped" true (List.mem "flight.only" names)
+      | _ -> Alcotest.fail "flight dump has no traceEvents");
+      Alcotest.(check bool) "eviction count in dump" true
+        (Json.mem "flight_evictions" root <> None))
+
+(* Every span recorded under a traced [Batch.map_reduce] must reach the
+   root request span by its parent chain, whatever the job count —
+   the cross-domain stitching contract behind [tinflow obs report]. *)
+let prop_map_reduce_spans_stitch =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:25 ~name:"map_reduce span parent chains reach the root"
+       QCheck.(pair (int_bound 200) (int_range 1 6))
+       (fun (n, jobs) ->
+         with_enabled (fun () ->
+             Obs.Span.with_root "prop.root" (fun () ->
+                 ignore
+                   (Batch.map_reduce ~jobs ~chunk:3 ~n
+                      ~init:(fun () -> ref 0)
+                      ~body:(fun acc i -> acc := !acc + i)
+                      ~merge:(fun a b -> ref (!a + !b))
+                      ()));
+             let evs = Obs.trace_events () in
+             let by_id = Hashtbl.create 64 in
+             List.iter (fun (e : Obs.event) -> Hashtbl.replace by_id e.Obs.span_id e) evs;
+             let root =
+               match List.filter (fun (e : Obs.event) -> e.Obs.name = "prop.root") evs with
+               | [ r ] -> r
+               | rs -> Alcotest.failf "expected 1 root span, got %d" (List.length rs)
+             in
+             let bound = List.length evs in
+             let rec reaches (e : Obs.event) steps =
+               steps <= bound
+               && (e.Obs.span_id = root.Obs.span_id
+                  || e.Obs.parent_id <> ""
+                     &&
+                     match Hashtbl.find_opt by_id e.Obs.parent_id with
+                     | Some p -> reaches p (steps + 1)
+                     | None -> false)
+             in
+             Obs.dropped_events () = 0
+             && List.for_all
+                  (fun (e : Obs.event) ->
+                    e.Obs.trace_id = root.Obs.trace_id && reaches e 0)
+                  evs)))
+
 (* --- exporters ----------------------------------------------------- *)
 
 let record_sample_activity () =
@@ -540,6 +698,12 @@ let test_prometheus_conformance () =
       Obs.Gauge.set g 1.5;
       let h = Obs.Histogram.make "conformance_hist" in
       Obs.Histogram.observe h 2.5;
+      (* The daemon's request-latency family: a labeled histogram must
+         export per-member _count/_sum rows that scrapers can parse. *)
+      let lat =
+        Obs.Histogram.make_labeled "http_request_duration_ms" ~labels:[ "route"; "status" ]
+      in
+      Obs.Histogram.observe (Obs.Histogram.labeled lat [ "/metrics"; "200" ]) 0.5;
       let text = Obs.prometheus_text () in
       Alcotest.(check bool) "ends with newline" true
         (String.length text > 0 && text.[String.length text - 1] = '\n');
@@ -582,7 +746,13 @@ let test_prometheus_conformance () =
       Alcotest.(check bool) "histogram count exported" true (has "conformance_hist_count 1");
       Alcotest.(check bool) "histogram sum exported" true (has "conformance_hist_sum 2.5");
       Alcotest.(check bool) "span-loss counter always present" true
-        (has "obs_dropped_span_events 0"))
+        (has "obs_dropped_span_events 0");
+      Alcotest.(check bool) "flight-eviction counter always present" true
+        (has "obs_flight_ring_evictions 0");
+      Alcotest.(check bool) "labeled request-latency count" true
+        (has "http_request_duration_ms_count{route=\"/metrics\",status=\"200\"} 1");
+      Alcotest.(check bool) "labeled request-latency sum" true
+        (has "http_request_duration_ms_sum{route=\"/metrics\",status=\"200\"} 0.5"))
 
 (* --- runtime telemetry --------------------------------------------- *)
 
@@ -972,6 +1142,19 @@ let () =
         [
           Alcotest.test_case "nesting" `Quick test_spans_nest;
           Alcotest.test_case "recorded on exception" `Quick test_span_records_on_exception;
+        ] );
+      ( "trace-context",
+        [
+          Alcotest.test_case "traceparent round-trip" `Quick test_traceparent_roundtrip;
+          Alcotest.test_case "span ids stitch" `Quick test_span_ids_stitch;
+          prop_map_reduce_spans_stitch;
+        ] );
+      ( "flight",
+        [
+          Alcotest.test_case "drops vs evictions" `Quick test_flight_drops_vs_evictions;
+          Alcotest.test_case "disarmed records nothing" `Quick
+            test_flight_disarmed_records_nothing;
+          Alcotest.test_case "dump schema" `Quick test_flight_dump_schema;
         ] );
       ( "runtime",
         [

@@ -417,6 +417,101 @@ let test_daemon_http_roundtrip () =
       Alcotest.(check bool) "metrics 200" true
         (String.starts_with ~prefix:"HTTP/1.1 200" metrics))
 
+(* --- observability at the HTTP boundary ----------------------------- *)
+
+module Obs = Tin_obs.Obs
+
+(* Distributed trace continuity is an always-on property: the flight
+   recorder keeps spans live even with tracing off, so a request
+   carrying a [traceparent] gets a response header in the same trace
+   with the server's own span id. *)
+let test_traceparent_echo () =
+  Obs.reset ();
+  Obs.Flight.arm ();
+  let d = Daemon.create (Daemon.config ~source:0 ~sink:2 ()) in
+  let srv = Serve.start ~addr:"127.0.0.1" ~port:0 ~routes:(Daemon.routes d) () in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.stop srv;
+      Obs.reset ())
+    (fun () ->
+      let port = Serve.port srv in
+      let trace = "4bf92f3577b34da6a3ce929d0e0e4736" in
+      let resp =
+        http ~port
+          (Printf.sprintf
+             "GET /status HTTP/1.1\r\n\
+              traceparent: 00-%s-00f067aa0ba902b7-01\r\n\
+              Connection: close\r\n\
+              \r\n"
+             trace)
+      in
+      Alcotest.(check bool) "200" true (String.starts_with ~prefix:"HTTP/1.1 200" resp);
+      Alcotest.(check bool) "response continues the client's trace" true
+        (contains resp ("traceparent: 00-" ^ trace ^ "-"));
+      Alcotest.(check bool) "server minted its own span id" false
+        (contains resp "00f067aa0ba902b7");
+      (* A garbage traceparent must not kill the request — the server
+         starts a fresh trace instead. *)
+      let resp =
+        http ~port
+          "GET /healthz HTTP/1.1\r\ntraceparent: junk\r\nConnection: close\r\n\r\n"
+      in
+      Alcotest.(check bool) "bad traceparent still 200" true
+        (String.starts_with ~prefix:"HTTP/1.1 200" resp);
+      Alcotest.(check bool) "fresh trace minted" true (contains resp "traceparent: 00-"))
+
+let test_http_latency_metric () =
+  Obs.reset ();
+  Obs.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.disable ();
+      Obs.reset ())
+    (fun () ->
+      let srv = Serve.start ~addr:"127.0.0.1" ~port:0 () in
+      Fun.protect
+        ~finally:(fun () -> Serve.stop srv)
+        (fun () ->
+          let port = Serve.port srv in
+          ignore (get ~port "/healthz");
+          ignore (get ~port "/no-such-route");
+          let scrape = get ~port "/metrics" in
+          Alcotest.(check bool) "latency series per route+status" true
+            (contains scrape
+               "http_request_duration_ms_count{route=\"/healthz\",status=\"200\"}");
+          (* Unknown paths share one label value: route cardinality
+             stays bounded no matter what clients probe. *)
+          Alcotest.(check bool) "404s collapse to unmatched" true
+            (contains scrape
+               "http_request_duration_ms_count{route=\"unmatched\",status=\"404\"}");
+          Alcotest.(check bool) "probed path never becomes a label" false
+            (contains scrape "no-such-route{")))
+
+(* The lag gauge must read as absent — not stale — when the window is
+   empty or nothing has ever arrived. *)
+let test_ingest_lag_unset () =
+  Obs.reset ();
+  Obs.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.disable ();
+      Obs.reset ())
+    (fun () ->
+      (* A previous daemon in the same process left a value behind. *)
+      Obs.Gauge.set (Obs.Gauge.make "serve.ingest_lag_seconds") 42.0;
+      let d = Daemon.create (Daemon.config ~source:0 ~sink:2 ()) in
+      Alcotest.(check bool) "empty daemon retracts stale lag" false
+        (List.mem_assoc "serve.ingest_lag_seconds" (Obs.gauges ()));
+      Alcotest.(check bool) "no scrape line while unset" false
+        (contains (Obs.prometheus_text ()) "serve_ingest_lag_seconds");
+      ignore (Daemon.ingest d [ entry 0 1 1.0 5.0 ]);
+      (match List.assoc_opt "serve.ingest_lag_seconds" (Obs.gauges ()) with
+      | Some v -> Alcotest.(check bool) "lag is a real value" true (v >= 0.0)
+      | None -> Alcotest.fail "accepted traffic must publish a lag");
+      Alcotest.(check bool) "scrape line once set" true
+        (contains (Obs.prometheus_text ()) "serve_ingest_lag_seconds"))
+
 let () =
   Alcotest.run "serve"
     [
@@ -454,4 +549,10 @@ let () =
         ] );
       ( "http",
         [ Alcotest.test_case "ingest/status round trip" `Quick test_daemon_http_roundtrip ] );
+      ( "observability",
+        [
+          Alcotest.test_case "traceparent echo" `Quick test_traceparent_echo;
+          Alcotest.test_case "request latency histogram" `Quick test_http_latency_metric;
+          Alcotest.test_case "lag gauge unset semantics" `Quick test_ingest_lag_unset;
+        ] );
     ]
